@@ -1,0 +1,96 @@
+"""E-A1 — section 4's analytic I/O formulas versus the storage ledger.
+
+The paper argues S3J's costs are simple enough for a query optimizer;
+this bench validates equations 1-5 against measured page I/O for the
+canonical uniform workload, and the PBSM/SHJ partition-phase equations
+(10, 16, 17) against their implementations.
+"""
+
+import pytest
+
+from repro.baselines.pbsm import PartitionBasedSpatialMergeJoin
+from repro.baselines.shj import SpatialHashJoin
+from repro.core.s3j import SizeSeparationSpatialJoin
+from repro.costmodel.s3j import s3j_io
+from repro.datagen.uniform import uniform_squares
+from repro.filtertree.occupancy import level_fractions
+from repro.storage.manager import StorageConfig, StorageManager
+
+SIDE = 0.01
+COUNT = 8_500  # 100 pages
+
+
+def run(algorithm_cls, buffer_pages=64, **params):
+    a = uniform_squares(COUNT, SIDE, seed=1, name="A")
+    b = uniform_squares(COUNT, SIDE, seed=2, name="B")
+    with StorageManager(StorageConfig(buffer_pages=buffer_pages)) as storage:
+        file_a = a.write_descriptors(storage, "in-a")
+        file_b = b.write_descriptors(storage, "in-b")
+        storage.phase_boundary()
+        storage.stats.reset()
+        algo = algorithm_cls(storage, **params)
+        result = algo.join(file_a, file_b)
+        return result, file_a.num_pages, file_b.num_pages
+
+
+def test_s3j_equations_1_to_5(benchmark):
+    result, pages_a, pages_b = benchmark.pedantic(
+        lambda: run(SizeSeparationSpatialJoin), rounds=1, iterations=1
+    )
+    metrics = result.metrics
+    fractions = level_fractions(SIDE)
+    predicted = s3j_io(
+        pages_a, pages_b, 64, fractions, fractions,
+        metrics.details["result_pages"],
+    )
+    print("\n--- S3J: predicted vs measured page I/O ---")
+    print(f"{'phase':<12}{'predicted':>10}{'measured':>10}")
+    measured_by_phase = {
+        "partition": metrics.phase_ios("partition"),
+        "sort": metrics.phase_ios("sort"),
+        "join": metrics.phase_ios("join"),
+    }
+    predicted_by_phase = {
+        "partition": predicted.scan_ios,
+        "sort": predicted.sort_ios,
+        "join": predicted.join_ios,
+    }
+    for phase in measured_by_phase:
+        print(f"{phase:<12}{predicted_by_phase[phase]:>10,}{measured_by_phase[phase]:>10,}")
+        assert measured_by_phase[phase] == pytest.approx(
+            predicted_by_phase[phase], rel=0.3
+        ), phase
+    assert metrics.total_ios == pytest.approx(predicted.total_ios, rel=0.2)
+    benchmark.extra_info["predicted"] = predicted.total_ios
+    benchmark.extra_info["measured"] = metrics.total_ios
+
+
+def test_pbsm_partition_equation_10(benchmark):
+    result, pages_a, pages_b = benchmark.pedantic(
+        lambda: run(PartitionBasedSpatialMergeJoin, tiles_per_dim=16),
+        rounds=1,
+        iterations=1,
+    )
+    metrics = result.metrics
+    r_a, r_b = metrics.replication_a, metrics.replication_b
+    predicted = (1 + r_a) * pages_a + (1 + r_b) * pages_b
+    # The first partitioning pass only (repartition work is extra).
+    measured = metrics.phase_ios("partition")
+    print(f"\nPBSM partition: eq.10 predicts {predicted:.0f}, measured {measured}")
+    assert measured >= predicted * 0.85
+    benchmark.extra_info["predicted_first_pass"] = predicted
+    benchmark.extra_info["measured"] = measured
+
+
+def test_shj_partition_equations_16_17(benchmark):
+    result, pages_a, pages_b = benchmark.pedantic(
+        lambda: run(SpatialHashJoin, num_partitions=12), rounds=1, iterations=1
+    )
+    metrics = result.metrics
+    r_b = metrics.replication_b
+    predicted = 12 + 2 * pages_a + (1 + r_b) * pages_b
+    measured = metrics.phase_ios("partition")
+    print(f"\nSHJ partition: eqs.16+17 predict {predicted:.0f}, measured {measured}")
+    assert measured == pytest.approx(predicted, rel=0.2)
+    benchmark.extra_info["predicted"] = predicted
+    benchmark.extra_info["measured"] = measured

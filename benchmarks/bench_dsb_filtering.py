@@ -1,0 +1,112 @@
+"""E-X1 — the filtering experiment (section 5.2.2, detailed in the
+[KS96] technical report): a highly selective join where the inputs
+occupy mostly different territory.
+
+S3J+DSB must match the filtering that PBSM (tile space from catalog
+MBRs) and SHJ (partition-MBR filtering) get structurally, and the paper
+reports "S3J with DSB is able to outperform both PBSM and SHJ" when
+enough filtering takes place.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.runner import run_algorithm
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.dataset import SpatialDataset
+
+COUNT = 6_000
+
+
+def strip_dataset(name, x_lo, x_hi, count, seed):
+    """Small boxes confined to a vertical strip of the space.
+
+    The y-range keeps clear of y = 0.5: an entity cut by a center line
+    is a level-0 entity, and the *fast* DSB projection of a level-0
+    entity covers the whole bitmap (section 3.2's precision loss),
+    which would turn the fast-mode measurement into pure noise.
+    """
+    rng = random.Random(seed)
+    entities = []
+    for eid in range(count):
+        x = rng.uniform(x_lo, x_hi - 0.01)
+        y = rng.uniform(0.51, 0.97)
+        entities.append(Entity.from_geometry(eid, Rect(x, y, x + 0.008, y + 0.008)))
+    return SpatialDataset(name, entities)
+
+
+@pytest.fixture(scope="module")
+def selective_inputs():
+    # 15% overlap band around x = 0.45.
+    left = strip_dataset("left", 0.0, 0.5, COUNT, seed=1)
+    right = strip_dataset("right", 0.42, 1.0, COUNT, seed=2)
+    return left, right
+
+
+def test_dsb_filtering_selective_join(benchmark, selective_inputs, repro_scale):
+    left, right = selective_inputs
+
+    def sweep():
+        plain = run_algorithm(left, right, "s3j", label="s3j", scale=repro_scale)
+        dsb = run_algorithm(
+            left, right, "s3j", label="s3j+DSB", scale=repro_scale,
+            dsb_level=8, dsb_mode="precise",
+        )
+        pbsm = run_algorithm(
+            left, right, "pbsm", label="pbsm", scale=repro_scale,
+            tile_space=Rect(0.0, 0.0, 0.5, 1.0),  # catalog MBR of A
+        )
+        shj = run_algorithm(left, right, "shj", label="shj", scale=repro_scale)
+        return plain, dsb, pbsm, shj
+
+    plain, dsb, pbsm, shj = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # All agree on results.
+    assert dsb.result.pairs == plain.result.pairs
+    assert pbsm.result.pairs == plain.result.pairs
+    assert shj.result.pairs == plain.result.pairs
+
+    print("\n--- Selective join: filtering comparison ---")
+    print(f"{'run':<10}{'time_s':>8}{'ios':>9}{'filtered_B':>11}")
+    filtered = {
+        "s3j": 0,
+        "s3j+DSB": dsb.result.metrics.details.get("dsb_filtered", 0),
+        "pbsm": pbsm.result.metrics.details.get("filtered_b", 0),
+        "shj": shj.result.metrics.details.get("filtered_b", 0),
+    }
+    for run in (plain, dsb, pbsm, shj):
+        metrics = run.result.metrics
+        print(
+            f"{run.label:<10}{run.response_time:>8.2f}{metrics.total_ios:>9,}"
+            f"{filtered[run.label]:>11,}"
+        )
+
+    # DSB filters most of the non-overlapping part of B...
+    assert filtered["s3j+DSB"] > COUNT * 0.5
+    # ...and beats plain S3J on both I/O and simulated time.
+    assert dsb.result.metrics.total_ios < plain.result.metrics.total_ios
+    assert dsb.response_time < plain.response_time
+    # The paper's headline: with filtering, S3J+DSB outperforms both.
+    assert dsb.response_time < pbsm.response_time
+    assert dsb.response_time < shj.response_time
+    benchmark.extra_info["filtered"] = filtered
+
+
+@pytest.mark.parametrize("mode", ["precise", "fast"])
+def test_dsb_mode_tradeoff(benchmark, selective_inputs, repro_scale, mode):
+    """Section 3.2's precision/CPU tradeoff: fast mode filters no more
+    than precise mode but spends fewer bitmap operations per entity."""
+    left, right = selective_inputs
+    run = benchmark.pedantic(
+        lambda: run_algorithm(
+            left, right, "s3j", scale=repro_scale, dsb_level=8, dsb_mode=mode
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    details = run.result.metrics.details
+    print(f"\nDSB {mode}: filtered {details['dsb_filtered']:,} of {COUNT:,}")
+    assert details["dsb_filtered"] > COUNT * 0.3
+    benchmark.extra_info["filtered"] = details["dsb_filtered"]

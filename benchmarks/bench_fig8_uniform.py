@@ -1,0 +1,49 @@
+"""E-F8a / E-F8b — figures 8a and 8b: phase-by-phase response time for
+the uniform-square joins UN1 x UN2 (coverage 0.4/0.9) and UN2 x UN3
+(coverage 0.9/1.6), for S3J, PBSM at two tile settings, and SHJ.
+"""
+
+import pytest
+
+from repro.experiments.workloads import workload_by_name
+
+from benchmarks.conftest import cached_workload_row, print_phase_breakdown
+
+
+@pytest.mark.parametrize("name", ["UN1-UN2", "UN2-UN3"])
+def test_fig8_uniform_join(benchmark, name, repro_scale):
+    workload = workload_by_name(name)
+    row = benchmark.pedantic(
+        lambda: cached_workload_row(workload, repro_scale), rounds=1, iterations=1
+    )
+
+    rows = [row["s3j"], row["pbsm_small"], row["pbsm_large"], row["shj"]]
+    print_phase_breakdown(f"Figure {workload.figure}: {name}", rows)
+
+    s3j = row["s3j"]
+    # Section 5.2.1 observations for the uniform joins:
+    # S3J's partition phase is relatively fast (sequential I/O only).
+    assert s3j["partition_s"] <= s3j["time_s"] * 0.5
+    # PBSM spends the largest share partitioning (incl. repartitioning).
+    pbsm = row["pbsm_small"]
+    assert pbsm["partition_s"] >= pbsm["join_s"] * 0.5
+    # SHJ's join phase is fast: partition pairs fit in memory.
+    shj = row["shj"]
+    assert shj["join_s"] <= shj["partition_s"]
+    benchmark.extra_info["rows"] = rows
+
+
+def test_fig8_coverage_increases_cost(benchmark, repro_scale):
+    """Figure 8a -> 8b: higher coverage raises every algorithm's
+    response time (more joining pairs, more replication)."""
+
+    def both():
+        return (
+            cached_workload_row(workload_by_name("UN1-UN2"), repro_scale),
+            cached_workload_row(workload_by_name("UN2-UN3"), repro_scale),
+        )
+
+    low, high = benchmark.pedantic(both, rounds=1, iterations=1)
+    for key in ("s3j", "pbsm_small", "shj"):
+        assert high[key]["time_s"] > low[key]["time_s"] * 0.9, key
+    assert high["pairs"] > low["pairs"]

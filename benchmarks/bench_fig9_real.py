@@ -1,0 +1,32 @@
+"""E-F9a / E-F9b — figures 9a and 9b: joins of the road-segment data
+sets with their shifted copies (LB x LB', MG x MG')."""
+
+import pytest
+
+from repro.experiments.workloads import workload_by_name
+
+from benchmarks.conftest import cached_workload_row, print_phase_breakdown
+
+
+@pytest.mark.parametrize("name", ["LB-LB'", "MG-MG'"])
+def test_fig9_road_join(benchmark, name, repro_scale):
+    workload = workload_by_name(name)
+    row = benchmark.pedantic(
+        lambda: cached_workload_row(workload, repro_scale), rounds=1, iterations=1
+    )
+
+    rows = [row["s3j"], row["pbsm_small"], row["pbsm_large"], row["shj"]]
+    print_phase_breakdown(f"Figure {workload.figure}: {name}", rows)
+
+    # Section 5.2.1: "PBSM's performance is worse with more tiles due
+    # to increased replication" on the road data.
+    small, large = row["pbsm_small"], row["pbsm_large"]
+    assert large["r_A"] + large["r_B"] >= small["r_A"] + small["r_B"]
+    # Both baselines replicate; S3J does not.
+    assert small["r_A"] > 1.0
+    assert row["shj"]["r_B"] > 1.0
+    assert row["s3j"]["r_A"] == 1.0
+    # S3J wins on the road workloads (paper: factors 1.3 - 2.3).
+    assert small["normalized"] >= 1.0
+    assert row["shj"]["normalized"] >= 0.9
+    benchmark.extra_info["rows"] = rows

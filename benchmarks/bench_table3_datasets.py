@@ -1,0 +1,34 @@
+"""E-T3 — regenerate Table 3: the evaluation data sets.
+
+Prints name / type / size / coverage for all seven data sets and checks
+the measured coverage against the paper's reported values.
+"""
+
+import pytest
+
+from repro.datagen.paper import PAPER_COVERAGE, table3_rows
+
+
+def test_table3_datasets(benchmark, repro_scale):
+    rows = benchmark.pedantic(
+        lambda: table3_rows(repro_scale), rounds=1, iterations=1
+    )
+
+    print(f"\n--- Table 3 (scale {repro_scale}) ---")
+    print(f"{'Name':<6}{'Size':>9}{'Coverage':>10}{'Paper':>8}  Type")
+    for row in rows:
+        print(
+            f"{row['name']:<6}{row['size']:>9,}{row['coverage']:>10.3f}"
+            f"{row['paper_coverage']:>8}  {row['type']}"
+        )
+
+    by_name = {row["name"]: row for row in rows}
+    for name in ("UN1", "UN2", "UN3", "TR"):
+        assert by_name[name]["coverage"] == pytest.approx(
+            PAPER_COVERAGE[name], rel=0.1
+        )
+    for name in ("LB", "MG"):
+        assert by_name[name]["coverage"] == pytest.approx(
+            PAPER_COVERAGE[name], rel=0.3
+        )
+    benchmark.extra_info["rows"] = rows

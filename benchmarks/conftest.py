@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables and figures.  The interesting
+measurements are the *simulated* quantities (page I/Os, per-phase
+response times on the modeled 1997 testbed), reported via
+``benchmark.extra_info`` and printed; wall-clock timings from
+pytest-benchmark are secondary.
+
+``REPRO_SCALE`` (default 0.2) shrinks entity counts; page capacities
+shrink with them so the memory geometry — and therefore every shape
+result — matches the full-size paper experiments (see
+repro.experiments.runner).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.paper import default_scale
+from repro.experiments.table4 import run_workload
+from repro.experiments.workloads import Workload
+
+_row_cache: dict[tuple[str, float], dict] = {}
+
+
+@pytest.fixture(scope="session")
+def repro_scale() -> float:
+    return default_scale()
+
+
+def cached_workload_row(workload: Workload, scale: float) -> dict:
+    """Run (or reuse) one Table 4 workload row — several figures and the
+    summary table share the same underlying joins."""
+    key = (workload.name, scale)
+    if key not in _row_cache:
+        _row_cache[key] = run_workload(workload, scale)
+    return _row_cache[key]
+
+
+def print_phase_breakdown(title: str, rows: list[dict]) -> None:
+    """Print a figure-8/9/10-style stacked phase breakdown."""
+    print(f"\n--- {title} (simulated seconds per phase) ---")
+    phases = ["partition_s", "sort_s", "join_s"]
+    header = f"{'algorithm':<14}" + "".join(f"{p[:-2]:>12}" for p in phases) + f"{'total':>12}"
+    print(header)
+    for row in rows:
+        cells = "".join(f"{row.get(p, 0.0):>12.2f}" for p in phases)
+        print(f"{row['algorithm']:<14}{cells}{row['time_s']:>12.2f}")

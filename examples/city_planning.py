@@ -1,0 +1,64 @@
+"""The paper's motivating query (section 2):
+
+    "find all movie theaters that are adjacent to a parking lot"
+
+— a spatial join between a polygon data set of parking lots and a
+polygon data set of movie theaters under a *next to* (distance-within)
+predicate, with exact refinement of the candidate pairs.
+
+Run:  python examples/city_planning.py
+"""
+
+import random
+
+from repro import Entity, Polygon, SpatialDataset, WithinDistance, spatial_join
+
+
+def rectangular_lot(rng: random.Random, eid: int, max_side: float) -> Entity:
+    """A random axis-aligned rectangular lot as a polygon."""
+    x = rng.uniform(0.02, 0.95)
+    y = rng.uniform(0.02, 0.95)
+    w = rng.uniform(0.004, max_side)
+    h = rng.uniform(0.004, max_side)
+    lot = Polygon(((x, y), (x + w, y), (x + w, y + h), (x, y + h)))
+    return Entity.from_geometry(eid, lot)
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    parking_lots = SpatialDataset(
+        "parking-lots",
+        [rectangular_lot(rng, eid, max_side=0.012) for eid in range(3_000)],
+    )
+    theaters = SpatialDataset(
+        "movie-theaters",
+        [rectangular_lot(rng, eid, max_side=0.008) for eid in range(400)],
+    )
+
+    # "next to": within 0.2% of the city's extent of each other.
+    next_to = WithinDistance(0.002)
+    result = spatial_join(
+        theaters,
+        parking_lots,
+        algorithm="s3j",
+        predicate=next_to,
+        refine=True,
+    )
+
+    print(f"candidate pairs from the filter step : {len(result.pairs):,}")
+    print(f"pairs surviving exact refinement     : {len(result.refined):,}")
+    served = {theater for theater, _ in result.refined}
+    print(
+        f"theaters with at least one adjacent lot: {len(served)} / {len(theaters)}"
+    )
+    print()
+    print("join metrics:", result.metrics.describe())
+
+    # The refinement step matters: MBR adjacency over-approximates
+    # polygon adjacency (Chebyshev vs Euclidean corner distances).
+    dropped = len(result.pairs) - len(result.refined)
+    print(f"refinement discarded {dropped} false candidates")
+
+
+if __name__ == "__main__":
+    main()

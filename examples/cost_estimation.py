@@ -1,0 +1,80 @@
+"""Using the analytic cost models the way a query optimizer would
+(section 4: "S3J has relatively simple cost estimation formulas that
+can be exploited by a query optimizer").
+
+For a hypothetical join of two uniform data sets we predict the page
+I/O of all three algorithms from catalog statistics alone (sizes,
+memory, object density), then validate the S3J prediction against an
+actual run.
+
+Run:  python examples/cost_estimation.py
+"""
+
+from repro.costmodel import (
+    expected_replication_factor,
+    pbsm_io,
+    pbsm_partitions,
+    replicated_fraction,
+    s3j_hilbert_cpu,
+    s3j_io,
+    shj_io,
+)
+from repro.datagen import uniform_squares
+from repro.experiments import run_algorithm
+from repro.filtertree import level_fractions
+
+PAGES_A = PAGES_B = 1_000
+MEMORY = 100
+SIDE = 0.005           # object side length (catalog statistic)
+TILES_PER_DIM = 32
+RESULT_PAGES = 120     # optimizer's output-size estimate
+
+
+def main() -> None:
+    print("Catalog: S_A = S_B = 1000 pages, M = 100 pages,")
+    print(f"         uniform {SIDE} x {SIDE} squares, {TILES_PER_DIM}x{TILES_PER_DIM} tiles")
+    print()
+
+    fractions = level_fractions(SIDE)
+    s3j = s3j_io(PAGES_A, PAGES_B, MEMORY, fractions, fractions, RESULT_PAGES)
+    print(f"S3J : scan {s3j.scan_ios:,} + sort {s3j.sort_ios:,} + join "
+          f"{s3j.join_ios:,} = {s3j.total_ios:,} page I/Os")
+    print(f"      + {s3j_hilbert_cpu(PAGES_A, PAGES_B, 85):.1f}s of Hilbert CPU (eq. 7)")
+
+    replication = expected_replication_factor(SIDE, TILES_PER_DIM)
+    print(f"\nPBSM: expected replication factor (1 + d*2^j)^2 = {replication:.3f}")
+    print(f"      fraction of objects replicated (fig. 7): "
+          f"{replicated_fraction(SIDE * TILES_PER_DIM):.3f}")
+    pbsm = pbsm_io(
+        PAGES_A, PAGES_B, MEMORY,
+        replication_a=replication, replication_b=replication,
+        candidate_pages=3 * RESULT_PAGES, result_pages=RESULT_PAGES,
+    )
+    print(f"      D = {pbsm_partitions(PAGES_A, PAGES_B, MEMORY)} partitions; "
+          f"partition {pbsm.partition_ios:,} + repartition {pbsm.repartition_ios:,}"
+          f" + join {pbsm.join_ios:,} + sort {pbsm.sort_ios:,}"
+          f" = {pbsm.total_ios:,} page I/Os")
+
+    shj = shj_io(
+        PAGES_A, PAGES_B, MEMORY, num_partitions=60,
+        replication_b=1.5, result_pages=RESULT_PAGES,
+    )
+    print(f"\nSHJ : sample {shj.sample_ios:,} + partition {shj.partition_ios:,}"
+          f" + join {shj.join_ios:,} = {shj.total_ios:,} page I/Os")
+
+    # Validate the S3J estimate against a real (scaled) execution.
+    print("\nValidation run (same geometry at 1/10 entity count):")
+    a = uniform_squares(8_500, SIDE, seed=1, name="A")
+    b = uniform_squares(8_500, SIDE, seed=2, name="B")
+    run = run_algorithm(a, b, "s3j", scale=0.1)
+    measured = run.result.metrics.total_ios
+    predicted = s3j_io(
+        1_000, 1_000, MEMORY, fractions, fractions,
+        run.result.metrics.details["result_pages"],
+    ).total_ios
+    print(f"  predicted {predicted:,} page I/Os, measured {measured:,} "
+          f"({measured / predicted:+.1%} off)")
+
+
+if __name__ == "__main__":
+    main()

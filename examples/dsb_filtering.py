@@ -1,0 +1,76 @@
+"""Dynamic Spatial Bitmaps in action (section 3.2).
+
+A highly selective join: customer sites clustered in a few metro areas
+against hazard zones covering mostly different territory.  Plain S3J
+partitions the two data sets independently and cannot exploit the
+selectivity; with DSB enabled, partitioning the first data set builds a
+bitmap that filters most of the second data set before it is ever
+sorted.
+
+Run:  python examples/dsb_filtering.py
+"""
+
+import random
+
+from repro import Entity, Rect, SpatialDataset
+from repro.experiments import run_algorithm
+
+
+def clustered_boxes(
+    name: str, centers: list[tuple[float, float]], count: int, seed: int
+) -> SpatialDataset:
+    rng = random.Random(seed)
+    entities = []
+    for eid in range(count):
+        cx, cy = centers[eid % len(centers)]
+        x = min(max(rng.gauss(cx, 0.02), 0.0), 0.98)
+        y = min(max(rng.gauss(cy, 0.02), 0.0), 0.98)
+        entities.append(
+            Entity.from_geometry(eid, Rect(x, y, x + 0.01, y + 0.01))
+        )
+    return SpatialDataset(name, entities)
+
+
+def main() -> None:
+    # Note the cluster placement: sites keep clear of the x = 0.5 and
+    # y = 0.5 lines.  An entity crossing a center line lands in level
+    # file 0, and the *fast* DSB projection of a level-0 entity covers
+    # the whole bitmap — the precision loss section 3.2 warns about.
+    # (The precise mode is immune; swap a cluster onto 0.5 to see the
+    # fast mode collapse to zero filtering.)
+    sites = clustered_boxes(
+        "customer-sites", [(0.15, 0.2), (0.2, 0.8), (0.3, 0.35)], 4_000, seed=1
+    )
+    hazards = clustered_boxes(
+        "hazard-zones", [(0.8, 0.2), (0.75, 0.8), (0.85, 0.65), (0.2, 0.8)],
+        4_000,
+        seed=2,
+    )
+
+    plain = run_algorithm(sites, hazards, "s3j", label="s3j (no DSB)", scale=0.1)
+    for mode in ("precise", "fast"):
+        filtered = run_algorithm(
+            sites,
+            hazards,
+            "s3j",
+            label=f"s3j + DSB ({mode})",
+            scale=0.1,
+            dsb_level=7,
+            dsb_mode=mode,
+        )
+        assert filtered.result.pairs == plain.result.pairs
+        details = filtered.result.metrics.details
+        print(f"{filtered.label}:")
+        print(f"  filtered out       : {details['dsb_filtered']:,} of {len(hazards):,} hazard zones")
+        print(f"  bitmap size        : {details['dsb_pages']} page(s)")
+        print(f"  response time      : {filtered.response_time:.2f}s "
+              f"(plain: {plain.response_time:.2f}s)")
+        print(f"  page I/Os          : {filtered.result.metrics.total_ios:,} "
+              f"(plain: {plain.result.metrics.total_ios:,})")
+        print()
+
+    print(f"both variants report the same {len(plain.result.pairs):,} joining pairs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""The two comparison algorithms the paper evaluates S3J against.
+
+- :class:`~repro.baselines.pbsm.PartitionBasedSpatialMergeJoin` —
+  PBSM (Patel & DeWitt, SIGMOD 1996), section 2.1 / figure 2.
+- :class:`~repro.baselines.shj.SpatialHashJoin` —
+  SHJ (Lo & Ravishankar, SIGMOD 1996), section 2.2 / figure 3.
+
+Both are full implementations (replication, filtering, repartitioning,
+duplicate elimination, R-tree probing) built on the same storage
+manager, sort module, and plane-sweep module as S3J, mirroring the
+shared-component methodology of the paper's prototype (section 5).
+"""
+
+from repro.baselines.pbsm import PartitionBasedSpatialMergeJoin
+from repro.baselines.shj import SpatialHashJoin
+
+__all__ = ["PartitionBasedSpatialMergeJoin", "SpatialHashJoin"]

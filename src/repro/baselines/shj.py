@@ -1,0 +1,278 @@
+"""Spatial Hash Join (Lo & Ravishankar, SIGMOD 1996).
+
+The algorithm of the paper's figure 3:
+
+1. Compute the number of partitions (the authors' slot count — larger
+   than PBSM's, section 4.1.3).
+2. Sample data set A; the sampled objects' centers seed the partitions.
+3. Scan A, assigning each entity to the partition with the nearest
+   center (the nearest-center heuristic of [LR95]); the partition's MBR
+   expands to contain the entity, moving its center.  **No replication
+   in A.**
+4. Scan B, recording each entity in every partition whose (final) MBR
+   it overlaps — replication happens here; entities overlapping no
+   partition are filtered out.
+5. Join each partition pair by building an in-memory R-tree on the A
+   partition and probing it with the B partition's entities; partitions
+   too big for memory fall back to blockwise processing.
+
+No duplicate elimination is needed (a given A entity lives in exactly
+one partition, so a pair can only be found once) — Table 2's "Sort:
+none" row.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.geometry.rect import Rect
+from repro.join.base import SpatialJoinAlgorithm
+from repro.join.metrics import JoinMetrics
+from repro.rtree.rtree import RTree
+from repro.storage.manager import StorageManager
+from repro.storage.pagedfile import PagedFile
+from repro.storage.records import EID, XHI, XLO, YHI, YLO, CandidatePairCodec
+
+
+def suggested_partitions(
+    pages_a: int, memory_pages: int, multiplier: float = 10.0
+) -> int:
+    """The slot-count heuristic standing in for the [LR95] formula.
+
+    Lo & Ravishankar size slots so each partition pair fits comfortably
+    in memory; the paper notes their count is "much larger than the
+    number used for PBSM" (section 4.1.3).  We model it as
+    ``multiplier * S_A / M``, with a multiplier of 10 by default (see
+    DESIGN.md substitutions), capped at ``M - 4`` because a one-pass
+    partitioning step needs an input buffer (plus slack) besides one
+    output buffer per partition, or the buffer pool thrashes.
+    """
+    target = math.ceil(multiplier * pages_a / memory_pages)
+    return max(2, min(target, memory_pages - 4))
+
+
+class _Partition:
+    """One SHJ partition: its seed-derived center and its growing MBR."""
+
+    __slots__ = ("mbr", "count")
+
+    def __init__(self, cx: float, cy: float) -> None:
+        self.mbr = Rect(cx, cy, cx, cy)
+        self.count = 0
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return self.mbr.center
+
+    def absorb(self, mbr: Rect) -> None:
+        self.mbr = self.mbr.union(mbr)
+        self.count += 1
+
+
+class SpatialHashJoin(SpatialJoinAlgorithm):
+    """SHJ.
+
+    Parameters
+    ----------
+    storage:
+        The storage manager to run against.
+    num_partitions:
+        Override for the slot count (heuristic formula by default).
+    partition_multiplier:
+        Multiplier of the slot-count heuristic.
+    seed:
+        RNG seed for the sampling step (deterministic experiments).
+    rtree_fanout:
+        Node capacity of the per-partition R-trees.
+    """
+
+    name = "shj"
+    phase_names = ("partition", "join")
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        num_partitions: int | None = None,
+        partition_multiplier: float = 10.0,
+        seed: int = 0,
+        rtree_fanout: int = 32,
+        sample_factor: int = 3,
+    ) -> None:
+        super().__init__(storage)
+        if sample_factor < 1:
+            raise ValueError("sample_factor must be at least 1")
+        self.num_partitions = num_partitions
+        self.partition_multiplier = partition_multiplier
+        self.seed = seed
+        self.rtree_fanout = rtree_fanout
+        self.sample_factor = sample_factor
+
+    def run_filter_step(
+        self, input_a: PagedFile, input_b: PagedFile
+    ) -> tuple[set[tuple[int, int]], JoinMetrics]:
+        stats = self.storage.stats
+        target = self.num_partitions or suggested_partitions(
+            input_a.num_pages, self.storage.memory_pages, self.partition_multiplier
+        )
+
+        with stats.phase("partition"):
+            partitions = self._sample_seeds(input_a, target)
+            files_a = self._partition_a(input_a, partitions)
+            files_b, written_b, filtered_b = self._partition_b(input_b, partitions)
+            self.storage.phase_boundary()
+
+        pairs: set[tuple[int, int]] = set()
+        result = self.storage.create_file(
+            self._file_name("result"), CandidatePairCodec()
+        )
+        overflowed = 0
+        with stats.phase("join"):
+            for index in range(len(partitions)):
+                overflowed += self._join_pair(
+                    files_a.get(index), files_b.get(index), result, pairs
+                )
+            self.storage.phase_boundary()
+
+        metrics = self._build_metrics(
+            num_partitions=len(partitions),
+            filtered_b=filtered_b,
+            overflowed_pairs=overflowed,
+            result_pages=result.num_pages,
+        )
+        metrics.replication_a = 1.0  # SHJ never replicates the first input
+        if input_b.num_records:
+            metrics.replication_b = written_b / input_b.num_records
+        return pairs, metrics
+
+    # -- sampling -------------------------------------------------------------
+
+    def _sample_seeds(self, source: PagedFile, target: int) -> list[_Partition]:
+        """Random page reads of A; sampled objects' centers seed the
+        partitions (the ``cD`` random I/O term of equation 16).
+
+        Following [LR95], several candidate objects are sampled per
+        slot (``sample_factor``, the equation's integer ``c``); the
+        seeds are then drawn from the candidate pool, which spreads
+        them better than one draw per slot.
+        """
+        if source.num_pages == 0:
+            return []
+        rng = random.Random(self.seed)
+        count = min(self.sample_factor * target, source.num_pages)
+        page_numbers = rng.sample(range(source.num_pages), count)
+        candidates = []
+        for page_no in page_numbers:
+            records = source.read_page(page_no)  # a random, counted read
+            record = records[rng.randrange(len(records))]
+            cx = (record[XLO] + record[XHI]) / 2
+            cy = (record[YLO] + record[YHI]) / 2
+            candidates.append((cx, cy))
+        chosen = rng.sample(candidates, min(target, len(candidates)))
+        return [_Partition(cx, cy) for cx, cy in chosen]
+
+    # -- partitioning -----------------------------------------------------------
+
+    def _partition_a(
+        self, source: PagedFile, partitions: list[_Partition]
+    ) -> dict[int, PagedFile]:
+        """Assign every A entity to the partition with the nearest
+        center, expanding that partition's MBR (no replication)."""
+        stats = self.storage.stats
+        files: dict[int, PagedFile] = {}
+        for record in source.scan():
+            stats.charge_cpu("partition", max(1, len(partitions)))
+            mbr = Rect(record[XLO], record[YLO], record[XHI], record[YHI])
+            cx, cy = mbr.center
+            index = min(
+                range(len(partitions)),
+                key=lambda i: _sqdist(partitions[i].center, cx, cy),
+            )
+            partitions[index].absorb(mbr)
+            handle = files.get(index)
+            if handle is None:
+                handle = self.storage.create_file(self._file_name(f"A-P{index}"))
+                files[index] = handle
+            handle.append(record)
+        return files
+
+    def _partition_b(
+        self, source: PagedFile, partitions: list[_Partition]
+    ) -> tuple[dict[int, PagedFile], int, int]:
+        """Record every B entity in each partition whose MBR it
+        overlaps (replication); filter entities overlapping none."""
+        stats = self.storage.stats
+        files: dict[int, PagedFile] = {}
+        written = 0
+        filtered = 0
+        for record in source.scan():
+            stats.charge_cpu("partition", max(1, len(partitions)))
+            mbr = Rect(record[XLO], record[YLO], record[XHI], record[YHI])
+            matched = False
+            for index, partition in enumerate(partitions):
+                if partition.count and partition.mbr.intersects(mbr):
+                    matched = True
+                    handle = files.get(index)
+                    if handle is None:
+                        handle = self.storage.create_file(
+                            self._file_name(f"B-P{index}")
+                        )
+                        files[index] = handle
+                    handle.append(record)
+                    written += 1
+            if not matched:
+                filtered += 1
+        return files, written, filtered
+
+    # -- joining -------------------------------------------------------------------
+
+    def _join_pair(
+        self,
+        file_a: PagedFile | None,
+        file_b: PagedFile | None,
+        result: PagedFile,
+        pairs: set[tuple[int, int]],
+    ) -> int:
+        """Join one partition pair: R-tree on A's side, probe with B's.
+
+        When the A partition exceeds memory, it is processed in memory-
+        sized blocks, rescanning B for each block (the analysis's
+        nested-loops fallback, equation 19).  Returns 1 when the pair
+        overflowed memory.
+        """
+        if file_a is None or file_b is None:
+            return 0
+        if file_a.num_records == 0 or file_b.num_records == 0:
+            return 0
+        stats = self.storage.stats
+        memory = self.storage.memory_pages
+        block_pages = max(1, memory - 1)
+        overflowed = int(file_a.num_pages > block_pages)
+
+        for block_start in range(0, file_a.num_pages, block_pages):
+            tree = RTree(max_entries=self.rtree_fanout, stats=stats)
+            block_end = min(block_start + block_pages, file_a.num_pages)
+            for page_no in range(block_start, block_end):
+                for record in file_a.read_page(page_no):
+                    tree.insert(
+                        Rect(record[XLO], record[YLO], record[XHI], record[YHI]),
+                        record,
+                    )
+            for record_b in file_b.scan():
+                window = Rect(
+                    record_b[XLO], record_b[YLO], record_b[XHI], record_b[YHI]
+                )
+                for record_a in tree.search(window):
+                    stats.charge_cpu("mbr_test")
+                    pair = (record_a[EID], record_b[EID])
+                    pairs.add(pair)
+                    result.append(pair)
+        self.storage.drop_file(file_a.name)
+        self.storage.drop_file(file_b.name)
+        return overflowed
+
+
+def _sqdist(center: tuple[float, float], x: float, y: float) -> float:
+    dx = center[0] - x
+    dy = center[1] - y
+    return dx * dx + dy * dy

@@ -1,0 +1,137 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro.cli join --algorithm s3j --workload UN1-UN2
+    python -m repro.cli table3 [--scale 0.2]
+    python -m repro.cli table4 [--scale 0.2] [--only TR,CFD]
+
+`join` runs one algorithm on one of the paper's evaluation workloads
+and prints the phase breakdown; `table3` and `table4` regenerate the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datagen.paper import default_scale, table3_rows
+from repro.experiments.runner import run_algorithm
+from repro.experiments.table4 import format_table4, table4_rows
+from repro.experiments.workloads import WORKLOADS, workload_by_name
+from repro.join.api import available_algorithms
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="entity-count scale factor (default: REPRO_SCALE env or 0.2)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the three subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Size Separation Spatial Join (SIGMOD 1997) reproduction",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    join = commands.add_parser("join", help="run one join experiment")
+    join.add_argument(
+        "--algorithm",
+        choices=available_algorithms(),
+        default="s3j",
+    )
+    join.add_argument(
+        "--workload",
+        choices=[w.name for w in WORKLOADS],
+        default="UN1-UN2",
+    )
+    join.add_argument(
+        "--tiles", type=int, default=None, help="PBSM tiles per dimension"
+    )
+    _add_scale(join)
+
+    table3 = commands.add_parser("table3", help="regenerate Table 3")
+    _add_scale(table3)
+
+    table4 = commands.add_parser("table4", help="regenerate Table 4")
+    table4.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated workload names (default: all six)",
+    )
+    _add_scale(table4)
+
+    return parser
+
+
+def cmd_join(args: argparse.Namespace) -> int:
+    """Run one algorithm on one evaluation workload."""
+    scale = args.scale if args.scale is not None else default_scale()
+    workload = workload_by_name(args.workload)
+    dataset_a, dataset_b = workload.datasets(scale)
+    params = {}
+    if args.tiles is not None:
+        if args.algorithm != "pbsm":
+            print("--tiles only applies to pbsm", file=sys.stderr)
+            return 2
+        params["tiles_per_dim"] = args.tiles
+    run = run_algorithm(
+        dataset_a,
+        dataset_b,
+        args.algorithm,
+        predicate=workload.predicate(),
+        scale=scale,
+        **params,
+    )
+    metrics = run.result.metrics
+    print(f"workload  : {workload.name} (figure {workload.figure}, scale {scale})")
+    print(f"algorithm : {args.algorithm}")
+    print(f"pairs     : {len(run.result.pairs):,}")
+    print(f"page I/Os : {metrics.total_ios:,}")
+    print(f"r_A / r_B : {metrics.replication_a:.2f} / {metrics.replication_b:.2f}")
+    print("phases    :")
+    for phase, seconds in metrics.breakdown().items():
+        print(f"  {phase:<10} {seconds:8.2f} s")
+    print(f"total     : {metrics.response_time:8.2f} s (simulated)")
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    """Print the regenerated Table 3."""
+    rows = table3_rows(args.scale)
+    print(f"{'Name':<6}{'Size':>9}{'Coverage':>10}{'Paper':>8}  Type")
+    for row in rows:
+        print(
+            f"{row['name']:<6}{row['size']:>9,}{row['coverage']:>10.3f}"
+            f"{row['paper_coverage']:>8}  {row['type']}"
+        )
+    return 0
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    """Print the regenerated Table 4."""
+    only = tuple(args.only.split(",")) if args.only else None
+    rows = table4_rows(args.scale, only=only)
+    print(format_table4(rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "join": cmd_join,
+        "table3": cmd_table3,
+        "table4": cmd_table4,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Size Separation Spatial Join — the paper's primary contribution.
+
+- :class:`~repro.core.s3j.SizeSeparationSpatialJoin` — the S3J
+  algorithm (figure 5): partition into level files, sort each by
+  Hilbert value, and join with a synchronized scan that reads each page
+  exactly once.
+- :mod:`~repro.core.sync_scan` — the synchronized scan itself, a
+  nested-interval merge over all sorted level files.
+- :class:`~repro.core.bitmap.DynamicSpatialBitmap` — DSB (section 3.2),
+  giving S3J the filtering capability of PBSM/SHJ.
+"""
+
+from repro.core.bitmap import DynamicSpatialBitmap
+from repro.core.s3j import SizeSeparationSpatialJoin
+from repro.core.sync_scan import synchronized_scan
+
+__all__ = [
+    "DynamicSpatialBitmap",
+    "SizeSeparationSpatialJoin",
+    "synchronized_scan",
+]

@@ -1,0 +1,149 @@
+"""Dynamic Spatial Bitmaps (section 3.2).
+
+DSB projects every entity of the first data set onto a chosen *bitmap
+level* ``l`` — a ``2^l x 2^l`` grid whose ``4^l`` cells map one-to-one
+onto bits, indexed by the cell's Hilbert value at level ``l``.  While
+the second data set is partitioned, entities whose projection finds no
+set bit cannot join anything and are filtered out.
+
+Two projection modes for entities *above* the bitmap level (level
+``l_e < l``, i.e. entities bigger than a bitmap cell):
+
+- ``precise`` — enumerate the level-``l`` cells the MBR actually
+  overlaps ("determining all the partitions at level l that e overlaps
+  and computing their Hilbert values");
+- ``fast`` — take the whole Hilbert range of the entity's level-``l_e``
+  cell ("extending H with all possible bit strings" — faster, but less
+  precise because it covers the full cell, not just the entity).
+
+Entities at or below the bitmap level use a single bit: their Hilbert
+value truncated to ``2*l`` bits.
+"""
+
+from __future__ import annotations
+
+from repro.curves.base import SpaceFillingCurve
+from repro.filtertree.grid import cells_overlapping
+from repro.geometry.rect import Rect
+from repro.storage.iostats import IOStats
+
+_MODES = ("precise", "fast")
+
+
+class DynamicSpatialBitmap:
+    """A ``4^level``-bit spatial bitmap addressed by Hilbert value."""
+
+    def __init__(
+        self,
+        level: int,
+        curve: SpaceFillingCurve,
+        mode: str = "precise",
+        stats: IOStats | None = None,
+    ) -> None:
+        if not 0 <= level <= min(curve.order, 13):
+            raise ValueError("bitmap level must be between 0 and min(order, 13)")
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        self.level = level
+        self.curve = curve
+        self.mode = mode
+        self.stats = stats
+        self.num_bits = 1 << (2 * level)
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        # A curve instance at the bitmap's own resolution, for cell keys
+        # in precise mode.  Space-filling curves are self-similar, so
+        # the level-l key of a cell equals the full-precision key of any
+        # interior point truncated to 2*l bits.
+        self._cell_curve = type(curve)(order=level) if level >= 1 else None
+        self.set_operations = 0
+        self.probe_operations = 0
+        self.filtered_count = 0
+
+    def pages(self, page_size: int) -> int:
+        """Pages needed to store the bitmap: ``2^(2l - p)`` for a page
+        of ``2^p`` bits (section 3.2)."""
+        page_bits = page_size * 8
+        return max(1, -(-self.num_bits // page_bits))
+
+    # -- population (first data set) -----------------------------------
+
+    def set_entity(self, mbr: Rect, hilbert: int, entity_level: int) -> None:
+        """Project one entity of the first data set onto the bitmap."""
+        self.set_operations += 1
+        for lo, hi in self._bit_ranges(mbr, hilbert, entity_level):
+            self._set_range(lo, hi)
+
+    # -- probing (second data set) ---------------------------------------
+
+    def admits(self, mbr: Rect, hilbert: int, entity_level: int) -> bool:
+        """True when an entity of the second data set may have a joining
+        partner (some corresponding bit is set); false means the entity
+        can be safely filtered out."""
+        self.probe_operations += 1
+        for lo, hi in self._bit_ranges(mbr, hilbert, entity_level):
+            if self._any_in_range(lo, hi):
+                return True
+        self.filtered_count += 1
+        return False
+
+    # -- internals ---------------------------------------------------------
+
+    def _bit_ranges(
+        self, mbr: Rect, hilbert: int, entity_level: int
+    ) -> list[tuple[int, int]]:
+        """Half-open bit-index ranges covering the entity's projection."""
+        self._charge()
+        if self.level == 0:
+            return [(0, 1)]
+        if entity_level >= self.level:
+            # At or below the bitmap level: one bit — the Hilbert value
+            # truncated to the bitmap resolution.
+            bit = hilbert >> (2 * (self.curve.order - self.level))
+            return [(bit, bit + 1)]
+        if self.mode == "fast":
+            # The whole key range of the entity's own (coarser) cell.
+            span = 2 * (self.level - entity_level)
+            prefix = hilbert >> (2 * (self.curve.order - entity_level))
+            return [(prefix << span, (prefix + 1) << span)]
+        # Precise: only the bitmap cells the MBR actually overlaps.
+        ranges = []
+        for cx, cy in cells_overlapping(mbr, self.level):
+            self._charge()
+            bit = self._cell_curve.key(cx, cy)
+            ranges.append((bit, bit + 1))
+        return ranges
+
+    def _set_range(self, lo: int, hi: int) -> None:
+        for bit in range(lo, hi):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+
+    def _any_in_range(self, lo: int, hi: int) -> bool:
+        # Check partial leading byte, whole middle bytes, partial tail.
+        bit = lo
+        while bit < hi and bit & 7:
+            if self._bits[bit >> 3] & (1 << (bit & 7)):
+                return True
+            bit += 1
+        while bit + 8 <= hi:
+            if self._bits[bit >> 3]:
+                return True
+            bit += 8
+        while bit < hi:
+            if self._bits[bit >> 3] & (1 << (bit & 7)):
+                return True
+            bit += 1
+        return False
+
+    def is_set(self, bit: int) -> bool:
+        """Direct single-bit read (used by tests)."""
+        if not 0 <= bit < self.num_bits:
+            raise IndexError(f"bit {bit} outside [0, {self.num_bits})")
+        return bool(self._bits[bit >> 3] & (1 << (bit & 7)))
+
+    def population(self) -> int:
+        """Number of set bits."""
+        return sum(byte.bit_count() for byte in self._bits)
+
+    def _charge(self) -> None:
+        if self.stats is not None:
+            self.stats.charge_cpu("bitmap")

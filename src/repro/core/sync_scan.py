@@ -1,0 +1,124 @@
+"""The synchronized scan: S3J's join phase.
+
+Every entity in a sorted level file is contained in exactly one cell of
+the ``2^l`` grid at its level ``l``, and that cell corresponds to one
+contiguous Hilbert key range.  Cells at different levels are either
+nested or disjoint, so the entities' key ranges form a family of
+*nested intervals*: two entities can intersect only if one's interval
+contains the other's.
+
+The scan merges the *pages* of all level files of both data sets in
+order of Hilbert range — the paper's "process entries in A_l(Hs, He)
+with those contained in B_(l-i)(Hs, He) for i = 0..l", which "strongly
+resembles an L-way merge sort" (section 3.1).  Each page is read
+exactly once, x-sorted once, and plane-swept (with the same sweep
+module PBSM uses, per section 5) against the still-open pages of the
+other data set.  A page stays open while any of its entities' intervals
+can still enclose later arrivals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterator
+
+from repro.storage.backend import Record
+from repro.storage.iostats import IOStats
+from repro.storage.pagedfile import PagedFile
+from repro.storage.records import HKEY, XLO
+from repro.sweep.plane_sweep import sweep_intersections
+
+PairSink = Callable[[Record, Record], None]
+
+_SIDE_A = 0
+_SIDE_B = 1
+
+
+def synchronized_scan(
+    files_a: dict[int, PagedFile],
+    files_b: dict[int, PagedFile],
+    order: int,
+    on_pair: PairSink,
+    stats: IOStats | None = None,
+) -> int:
+    """Merge the sorted level files of both data sets, reporting every
+    pair of MBR-intersecting descriptors to ``on_pair`` (``a`` first).
+
+    ``files_a``/``files_b`` map level -> Hilbert-sorted level file;
+    ``order`` is the curve order the Hilbert values were computed at.
+    Returns the number of pages processed.
+    """
+    streams = [
+        _page_stream(handle, level, order, _SIDE_A, stats)
+        for level, handle in files_a.items()
+    ] + [
+        _page_stream(handle, level, order, _SIDE_B, stats)
+        for level, handle in files_b.items()
+    ]
+    # Open pages per side: (max interval end, x-sorted records).
+    open_a: list[tuple[int, list[Record]]] = []
+    open_b: list[tuple[int, list[Record]]] = []
+    processed = 0
+
+    for start, _tiebreak, max_end, side, records in heapq.merge(*streams):
+        _expire(open_a, start)
+        _expire(open_b, start)
+        if side == _SIDE_A:
+            for _, other_records in open_b:
+                for rec_a, rec_b in sweep_intersections(
+                    records, other_records, stats=stats, presorted=True
+                ):
+                    on_pair(rec_a, rec_b)
+            open_a.append((max_end, records))
+        else:
+            for _, other_records in open_a:
+                for rec_b, rec_a in sweep_intersections(
+                    records, other_records, stats=stats, presorted=True
+                ):
+                    on_pair(rec_a, rec_b)
+            open_b.append((max_end, records))
+        processed += 1
+    return processed
+
+
+def _page_stream(
+    handle: PagedFile, level: int, order: int, side: int, stats: IOStats | None
+) -> Iterator[tuple[int, tuple[int, int, int], int, int, list[Record]]]:
+    """Yield (start, tiebreak, max_end, side, x-sorted records) per page.
+
+    The interval of an entity is the Hilbert key range of its
+    level-``level`` cell: the stored key truncated to the top
+    ``2*level`` bits.  Truncation is monotone, so a Hilbert-sorted
+    level file is also sorted by interval start, and the first record
+    of a page carries the page's minimum start.
+    """
+    shift = 2 * (order - level)
+    size = 1 << shift
+    for page_no in range(handle.num_pages):
+        records = handle.read_page(page_no)
+        if not records:
+            continue
+        start = (records[0][HKEY] >> shift) << shift
+        max_end = ((records[-1][HKEY] >> shift) << shift) + size
+        records.sort(key=lambda record: record[XLO])
+        if stats is not None:
+            stats.charge_cpu("compare", _sort_cost(len(records)))
+        yield start, (side, level, page_no), max_end, side, records
+
+
+def _expire(open_pages: list[tuple[int, list[Record]]], start: int) -> None:
+    """Drop pages none of whose intervals can reach the new start.
+
+    Page max-ends are not nested (a page mixes cells), so this is a
+    filter rather than a stack pop; the open set stays small because
+    only pages holding large (low-level) entities persist.
+    """
+    if any(end <= start for end, _ in open_pages):
+        open_pages[:] = [item for item in open_pages if item[0] > start]
+
+
+def _sort_cost(n: int) -> int:
+    if n < 2:
+        return 0
+    return int(n * math.log2(n))

@@ -1,0 +1,40 @@
+"""Analytic I/O cost models (section 4 of the paper).
+
+"S3J has relatively simple cost estimation formulas that can be
+exploited by a query optimizer" — these modules implement the page-I/O
+formulas of section 4 for all three algorithms (equations 1-19) plus
+the replication-fraction analysis behind figure 7 (equation 11), and a
+comparison harness that tabulates them side by side with measured
+counts.
+"""
+
+from repro.costmodel.optimizer import (
+    CatalogStats,
+    PlanEstimate,
+    choose_algorithm,
+    estimate_plans,
+)
+from repro.costmodel.pbsm import (
+    expected_replication_factor,
+    pbsm_io,
+    pbsm_partitions,
+)
+from repro.costmodel.replication import replicated_fraction
+from repro.costmodel.s3j import s3j_best_case_io, s3j_hilbert_cpu, s3j_io, s3j_worst_case_io
+from repro.costmodel.shj import shj_io
+
+__all__ = [
+    "CatalogStats",
+    "PlanEstimate",
+    "choose_algorithm",
+    "estimate_plans",
+    "expected_replication_factor",
+    "pbsm_io",
+    "pbsm_partitions",
+    "replicated_fraction",
+    "s3j_best_case_io",
+    "s3j_hilbert_cpu",
+    "s3j_io",
+    "s3j_worst_case_io",
+    "shj_io",
+]

@@ -1,0 +1,110 @@
+"""PBSM analytic I/O model (section 4.1.2, equations 8-15)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.costmodel.s3j import sort_passes
+
+
+def pbsm_partitions(pages_a: int, pages_b: int, memory_pages: int) -> int:
+    """Equation 8: ``D = (S_A + S_B) / M``."""
+    return max(1, math.ceil((pages_a + pages_b) / memory_pages))
+
+
+def expected_replication_factor(side: float, tiles_per_dim: int) -> float:
+    """Expected copies per uniform ``side x side`` object on a
+    ``tiles_per_dim^2`` grid: ``(1 + d 2^j)^2`` — each dimension
+    overlaps ``1 + d / tile_side`` tiles on average."""
+    if not 0.0 <= side <= 1.0:
+        raise ValueError("side must be in [0, 1]")
+    if tiles_per_dim < 1:
+        raise ValueError("tiles_per_dim must be positive")
+    per_dim = 1.0 + side * tiles_per_dim
+    return per_dim * per_dim
+
+
+@dataclass(frozen=True)
+class PBSMCostBreakdown:
+    """Page reads+writes per PBSM step."""
+
+    partition_ios: int    # equation 10: (1 + r_A) S_A + (1 + r_B) S_B
+    repartition_ios: int  # equation 13 (half the partitions redo)
+    join_ios: int         # equations 12/14: read partitions, write C
+    sort_ios: int         # equation 15: sort C with duplicate elimination
+
+    @property
+    def total_ios(self) -> int:
+        return (
+            self.partition_ios + self.repartition_ios + self.join_ios + self.sort_ios
+        )
+
+
+def pbsm_io(
+    pages_a: int,
+    pages_b: int,
+    memory_pages: int,
+    replication_a: float,
+    replication_b: float,
+    candidate_pages: int,
+    result_pages: int,
+    repartition_fraction: float = 0.5,
+    dedup_shrink: float = 0.0,
+    fan_in: int | None = None,
+) -> PBSMCostBreakdown:
+    """Predicted PBSM page I/O.
+
+    ``repartition_fraction`` is the share of partitions that overflow
+    memory and must be repartitioned — "we expect half the partitions to
+    require repartitioning" under equation 8's partition count.
+    ``dedup_shrink`` is the per-pass shrink factor of equation 15's
+    duplicate elimination (0 = no shrinkage, a conservative bound).
+    """
+    if not 0.0 <= repartition_fraction <= 1.0:
+        raise ValueError("repartition_fraction must be in [0, 1]")
+    ra_pages = replication_a * pages_a
+    rb_pages = replication_b * pages_b
+
+    partition = (1.0 + replication_a) * pages_a + (1.0 + replication_b) * pages_b
+    repartition = repartition_fraction * (
+        (1.0 + replication_a) * ra_pages + (1.0 + replication_b) * rb_pages
+    )
+    join = ra_pages + rb_pages + candidate_pages
+    sort = _dedup_sort_ios(
+        candidate_pages,
+        result_pages,
+        memory_pages,
+        dedup_shrink,
+        fan_in or max(2, memory_pages - 1),
+    )
+    return PBSMCostBreakdown(
+        partition_ios=math.ceil(partition),
+        repartition_ios=math.ceil(repartition),
+        join_ios=math.ceil(join),
+        sort_ios=math.ceil(sort),
+    )
+
+
+def _dedup_sort_ios(
+    candidate_pages: int,
+    result_pages: int,
+    memory_pages: int,
+    shrink: float,
+    fan_in: int,
+) -> float:
+    """Equation 15: sorting the candidate list with per-pass shrinkage.
+
+    When C fits in memory the cost is ``C + J`` (read once, write the
+    deduplicated result)."""
+    if candidate_pages <= 0:
+        return 0.0
+    if candidate_pages <= memory_pages:
+        return candidate_pages + result_pages
+    passes = sort_passes(candidate_pages, memory_pages, fan_in)
+    total = 0.0
+    remaining = float(candidate_pages)
+    for _ in range(passes):
+        total += 2.0 * remaining
+        remaining *= 1.0 - shrink
+    return total

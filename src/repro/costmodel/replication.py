@@ -1,0 +1,33 @@
+"""Replication-fraction analysis (equation 11 / figure 7).
+
+For uniformly distributed ``d x d`` squares and a regular partitioning
+of the unit square into tiles of side ``2^-j``, the fraction of objects
+falling wholly inside tiles is ``1 - d 2^(j+1) + d^2 2^(2j)`` (equation
+11), so the fraction of *replicated* objects is::
+
+    replicated(x) = 2x - x^2,    x = d * 2^j
+
+which rises toward 1 as ``x -> 1`` — the paper's figure 7 curve.
+"""
+
+from __future__ import annotations
+
+
+def inside_fraction(d_times_tiles: float) -> float:
+    """Equation 11: fraction of objects wholly inside one tile, as a
+    function of ``x = d * 2^j`` (object side times tiles per dimension)."""
+    x = _validated(d_times_tiles)
+    return (1.0 - x) * (1.0 - x)
+
+
+def replicated_fraction(d_times_tiles: float) -> float:
+    """Figure 7: fraction of objects crossing a tile boundary."""
+    return 1.0 - inside_fraction(d_times_tiles)
+
+
+def _validated(x: float) -> float:
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(
+            "d * 2^j must be in [0, 1] (object side at most one tile side)"
+        )
+    return x

@@ -1,0 +1,91 @@
+"""S3J analytic I/O model (section 4.1.1, equations 1-7)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class S3JCostBreakdown:
+    """Page reads+writes per S3J phase."""
+
+    scan_ios: int      # equation 1: 2 S_A + 2 S_B
+    sort_ios: int      # equation 3: 2 sum_i l_i S_i per data set
+    join_ios: int      # equation 4: S_A + S_B + J
+
+    @property
+    def total_ios(self) -> int:
+        return self.scan_ios + self.sort_ios + self.join_ios
+
+
+def sort_passes(file_pages: int, memory_pages: int, fan_in: int) -> int:
+    """``l_i``: total passes (run formation + merges) to sort a file."""
+    if file_pages <= 0:
+        return 0
+    if file_pages <= memory_pages:
+        return 1
+    runs = math.ceil(file_pages / memory_pages)
+    return 1 + math.ceil(math.log(runs, fan_in))
+
+
+def s3j_io(
+    pages_a: int,
+    pages_b: int,
+    memory_pages: int,
+    fractions_a: list[float],
+    fractions_b: list[float],
+    result_pages: int,
+    fan_in: int | None = None,
+) -> S3JCostBreakdown:
+    """Predicted S3J page I/O.
+
+    ``fractions_a``/``fractions_b`` are the level-file occupancy
+    fractions (equation 2 for uniform squares, or measured); the level
+    file sizes are ``S_i = f_i * S``.
+    """
+    fan_in = fan_in or max(2, memory_pages - 1)
+    scan = 2 * pages_a + 2 * pages_b
+    sort = 0
+    for pages, fractions in ((pages_a, fractions_a), (pages_b, fractions_b)):
+        for fraction in fractions:
+            level_pages = math.ceil(fraction * pages)
+            sort += 2 * sort_passes(level_pages, memory_pages, fan_in) * level_pages
+    join = pages_a + pages_b + result_pages
+    return S3JCostBreakdown(scan_ios=scan, sort_ios=sort, join_ios=join)
+
+
+def s3j_best_case_io(pages_a: int, pages_b: int, result_pages: int) -> int:
+    """Equation 5: every level file fits in memory -> ``5 S_A + 5 S_B + J``."""
+    return 5 * pages_a + 5 * pages_b + result_pages
+
+
+def s3j_worst_case_io(
+    pages_a: int,
+    pages_b: int,
+    memory_pages: int,
+    result_pages: int,
+    fan_in: int | None = None,
+) -> int:
+    """Equation 6: a single level file per data set ->
+    ``3 S_A + 3 S_B + 2 l_A S_A + 2 l_B S_B + J``."""
+    fan_in = fan_in or max(2, memory_pages - 1)
+    l_a = sort_passes(pages_a, memory_pages, fan_in)
+    l_b = sort_passes(pages_b, memory_pages, fan_in)
+    return (
+        3 * pages_a
+        + 3 * pages_b
+        + 2 * l_a * pages_a
+        + 2 * l_b * pages_b
+        + result_pages
+    )
+
+
+def s3j_hilbert_cpu(
+    pages_a: int,
+    pages_b: int,
+    entries_per_page: int,
+    hilbert_seconds: float = 10e-6,
+) -> float:
+    """Equation 7: ``H (S_A + S_B) E`` seconds of Hilbert computation."""
+    return hilbert_seconds * (pages_a + pages_b) * entries_per_page

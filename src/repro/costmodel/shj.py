@@ -1,0 +1,53 @@
+"""SHJ analytic I/O model (section 4.1.3, equations 16-19)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SHJCostBreakdown:
+    """Page reads+writes per SHJ step."""
+
+    sample_ios: int      # equation 16's cD term: random sampling reads
+    partition_ios: int   # 2 S_A (eq. 16) + (1 + r_B) S_B (eq. 17)
+    join_ios: int        # eq. 18 when partitions fit; blockwise otherwise
+
+    @property
+    def total_ios(self) -> int:
+        return self.sample_ios + self.partition_ios + self.join_ios
+
+
+def shj_io(
+    pages_a: int,
+    pages_b: int,
+    memory_pages: int,
+    num_partitions: int,
+    replication_b: float,
+    result_pages: int,
+    sample_pages_per_partition: int = 1,
+    partitions_fit: bool = True,
+) -> SHJCostBreakdown:
+    """Predicted SHJ page I/O.
+
+    With ``partitions_fit=True`` the join phase is equation 18
+    (``S_A + r_B S_B + J``).  Otherwise the blockwise fallback is
+    modeled (the analysis's nested-loops case, equation 19): assuming
+    uniform partition sizes ``S_A / D`` and ``r_B S_B / D``, each A
+    block of ``M - 1`` pages rescans its B partition.
+    """
+    sample = sample_pages_per_partition * num_partitions
+    partition = 2 * pages_a + math.ceil((1.0 + replication_b) * pages_b)
+    rb_pages = replication_b * pages_b
+    if partitions_fit:
+        join = pages_a + math.ceil(rb_pages) + result_pages
+    else:
+        block = max(1, memory_pages - 1)
+        part_a = pages_a / max(1, num_partitions)
+        part_b = rb_pages / max(1, num_partitions)
+        blocks = math.ceil(part_a / block)
+        join = math.ceil(num_partitions * (part_a + blocks * part_b)) + result_pages
+    return SHJCostBreakdown(
+        sample_ios=sample, partition_ios=partition, join_ios=join
+    )

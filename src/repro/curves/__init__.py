@@ -1,0 +1,26 @@
+"""Space-filling curves.
+
+S3J sorts level files by the Hilbert value of each entity's MBR center
+(section 3.1).  The paper notes that "any curve that recursively
+subdivides the space will work (e.g., z-order, gray code curve, etc)";
+all three are provided behind one interface so the choice can be
+ablated.
+
+Every curve here has the *prefix property* the synchronized scan
+depends on: the top ``2*l`` bits of a point's key identify the level-``l``
+grid cell containing it, and each level-``l`` cell is one contiguous key
+range.
+"""
+
+from repro.curves.base import SpaceFillingCurve, curve_by_name
+from repro.curves.gray import GrayCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.zorder import ZOrderCurve
+
+__all__ = [
+    "GrayCurve",
+    "HilbertCurve",
+    "SpaceFillingCurve",
+    "ZOrderCurve",
+    "curve_by_name",
+]

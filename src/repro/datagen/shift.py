@@ -1,0 +1,54 @@
+"""The shifted-copy transform producing LB' and MG'.
+
+Section 5.2.1: "the center of each spatial entity in the original data
+set is taken as the position of the lower left corner of an entity of
+the same size in the new data set" — i.e. every entity is translated
+by half its MBR extent in +x and +y.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.geometry.shapes import Point, Polygon, Segment
+from repro.join.dataset import SpatialDataset
+
+
+def shifted_copy(dataset: SpatialDataset, name: str | None = None) -> SpatialDataset:
+    """The paper's primed data sets (LB -> LB', MG -> MG')."""
+    entities = [_shift_entity(entity) for entity in dataset.entities]
+    return SpatialDataset(
+        name or f"{dataset.name}'",
+        entities,
+        description=f"shifted copy of {dataset.name}",
+    )
+
+
+def _shift_entity(entity: Entity) -> Entity:
+    mbr = entity.mbr
+    dx = mbr.width / 2
+    dy = mbr.height / 2
+    # Keep the shifted entity inside the unit square.
+    dx = min(dx, 1.0 - mbr.xhi)
+    dy = min(dy, 1.0 - mbr.yhi)
+    new_mbr = Rect(mbr.xlo + dx, mbr.ylo + dy, mbr.xhi + dx, mbr.yhi + dy)
+    geometry = _shift_geometry(entity.geometry, dx, dy)
+    return Entity(entity.eid, new_mbr, geometry)
+
+
+def _shift_geometry(geometry, dx: float, dy: float):
+    if geometry is None:
+        return None
+    if isinstance(geometry, Point):
+        return Point(geometry.x + dx, geometry.y + dy)
+    if isinstance(geometry, Segment):
+        return Segment(
+            geometry.x1 + dx, geometry.y1 + dy, geometry.x2 + dx, geometry.y2 + dy
+        )
+    if isinstance(geometry, Polygon):
+        return Polygon(tuple((x + dx, y + dy) for x, y in geometry.vertices))
+    if isinstance(geometry, Rect):
+        return Rect(
+            geometry.xlo + dx, geometry.ylo + dy, geometry.xhi + dx, geometry.yhi + dy
+        )
+    raise TypeError(f"unsupported geometry type: {type(geometry).__name__}")

@@ -1,0 +1,85 @@
+"""TIGER/Line-like road segment data sets (LB and MG stand-ins).
+
+We do not ship the Census Bureau TIGER/Line extracts the paper used
+(Long Beach County: 53,145 segments, coverage 0.15; Montgomery County:
+39,000 segments, coverage 0.12).  This generator synthesizes data with
+the same join-relevant properties — entity count, tiny skinny MBRs,
+strong spatial clustering along connected road structures — by growing
+random-walk road polylines out of a handful of town centers; each walk
+step emits one segment entity.  See DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.entity import Entity
+from repro.geometry.shapes import Segment
+from repro.join.dataset import SpatialDataset
+
+
+def road_segments(
+    count: int,
+    towns: int = 12,
+    segment_length: float = 0.0035,
+    town_spread: float = 0.08,
+    turn_sigma: float = 0.35,
+    seed: int = 0,
+    name: str = "roads",
+) -> SpatialDataset:
+    """``count`` short line segments forming road-like polylines.
+
+    ``towns`` cluster centers are scattered over the unit square; road
+    walks start near a center with a random heading and advance in
+    ``segment_length`` steps, the heading drifting by a Gaussian of
+    ``turn_sigma`` radians per step (gentle curves with occasional
+    sharp turns).  Walks reflect off the unit-square boundary.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if towns < 1:
+        raise ValueError("need at least one town")
+    if not 0.0 < segment_length < 0.5:
+        raise ValueError("segment_length must be in (0, 0.5)")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.1, 0.9, size=(towns, 2))
+    # Bigger towns get more roads: Zipf-ish town weights.
+    weights = 1.0 / np.arange(1, towns + 1)
+    weights /= weights.sum()
+
+    entities: list[Entity] = []
+    walk_length = max(8, int(math.sqrt(count)))
+    eid = 0
+    while eid < count:
+        town = rng.choice(towns, p=weights)
+        cx, cy = centers[town]
+        x = float(np.clip(cx + rng.normal(0.0, town_spread), 0.0, 1.0))
+        y = float(np.clip(cy + rng.normal(0.0, town_spread), 0.0, 1.0))
+        heading = rng.uniform(0.0, 2.0 * math.pi)
+        for _ in range(walk_length):
+            if eid >= count:
+                break
+            heading += rng.normal(0.0, turn_sigma)
+            nx = x + segment_length * math.cos(heading)
+            ny = y + segment_length * math.sin(heading)
+            # Reflect at the boundary to keep roads inside the space.
+            if not 0.0 <= nx <= 1.0:
+                heading = math.pi - heading
+                nx = min(max(nx, 0.0), 1.0)
+            if not 0.0 <= ny <= 1.0:
+                heading = -heading
+                ny = min(max(ny, 0.0), 1.0)
+            if nx != x or ny != y:
+                entities.append(Entity.from_geometry(eid, Segment(x, y, nx, ny)))
+                eid += 1
+            x, y = nx, ny
+    return SpatialDataset(
+        name,
+        entities,
+        description=(
+            f"{count} road-like segments ({towns} towns, "
+            f"step {segment_length:g})"
+        ),
+    )

@@ -1,0 +1,26 @@
+"""Experiment harness: the paper's evaluation protocol, reusable by
+benchmarks, examples, and tests.
+
+- :mod:`~repro.experiments.runner` — run one join experiment under the
+  paper's conditions (buffer pool at 10% of the inputs, page counts
+  scale-compensated so the memory geometry matches the paper at any
+  ``REPRO_SCALE``).
+- :mod:`~repro.experiments.workloads` — the six evaluation workloads
+  (figures 8-10) with their per-figure PBSM tile settings.
+- :mod:`~repro.experiments.table4` — the Table 4 summary: response
+  times normalized to S3J plus observed replication factors.
+"""
+
+from repro.experiments.runner import ExperimentResult, make_storage_config, run_algorithm
+from repro.experiments.table4 import table4_rows
+from repro.experiments.workloads import WORKLOADS, Workload, workload_by_name
+
+__all__ = [
+    "ExperimentResult",
+    "WORKLOADS",
+    "Workload",
+    "make_storage_config",
+    "run_algorithm",
+    "table4_rows",
+    "workload_by_name",
+]

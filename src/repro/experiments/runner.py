@@ -1,0 +1,108 @@
+"""Run one join experiment under the paper's conditions.
+
+Two conventions make scaled-down runs faithful to the full-size paper
+experiments:
+
+1. **Memory sizing** — the buffer pool gets 10% of the combined input
+   size (section 5), in pages.
+2. **Page-count compensation** — entity counts shrink by
+   ``REPRO_SCALE``, and the page capacity ``E`` shrinks with them, so
+   *file sizes in pages match the paper at any scale*.  All the
+   memory-geometry decisions (PBSM's partition count and repartition
+   rate, SHJ's slot count and whether partitions fit, sort fan-ins)
+   depend only on page counts, so they come out exactly as at full
+   scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.join.api import spatial_join
+from repro.join.dataset import SpatialDataset
+from repro.join.predicates import Intersects, JoinPredicate
+from repro.join.result import JoinResult
+from repro.storage.manager import StorageConfig
+from repro.storage.records import EntityDescriptorCodec
+
+FULL_SCALE_ENTRIES_PER_PAGE = 85
+"""``E`` at scale 1.0: 4 KB pages of 48-byte descriptors."""
+
+MEMORY_FRACTION = 0.10
+"""Buffer pool = 10% of combined input size (section 5)."""
+
+
+def make_storage_config(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    scale: float = 1.0,
+    memory_fraction: float = MEMORY_FRACTION,
+) -> StorageConfig:
+    """Paper-faithful storage configuration for one experiment."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    entries = max(1, round(FULL_SCALE_ENTRIES_PER_PAGE * scale))
+    page_size = EntityDescriptorCodec().record_size * entries
+    pages = math.ceil(len(dataset_a) / entries) + math.ceil(len(dataset_b) / entries)
+    buffer_pages = max(16, math.ceil(memory_fraction * pages))
+    return StorageConfig(page_size=page_size, buffer_pages=buffer_pages)
+
+
+@dataclass
+class ExperimentResult:
+    """One algorithm's run within an experiment."""
+
+    algorithm: str
+    label: str
+    result: JoinResult
+
+    @property
+    def response_time(self) -> float:
+        return self.result.metrics.response_time
+
+    @property
+    def breakdown(self) -> dict[str, float]:
+        return self.result.metrics.breakdown()
+
+    def row(self, baseline_time: float | None = None) -> dict[str, Any]:
+        """A printable summary row (Table 4 style)."""
+        metrics = self.result.metrics
+        row: dict[str, Any] = {
+            "algorithm": self.label,
+            "time_s": round(self.response_time, 2),
+            "total_ios": metrics.total_ios,
+            "r_A": round(metrics.replication_a, 2),
+            "r_B": round(metrics.replication_b, 2),
+            "pairs": len(self.result.pairs),
+        }
+        if baseline_time:
+            row["normalized"] = round(self.response_time / baseline_time, 2)
+        for phase, seconds in self.breakdown.items():
+            row[f"{phase}_s"] = round(seconds, 2)
+        return row
+
+
+def run_algorithm(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    algorithm: str,
+    label: str | None = None,
+    predicate: JoinPredicate | None = None,
+    scale: float = 1.0,
+    **params: Any,
+) -> ExperimentResult:
+    """Run one algorithm on one workload under paper conditions."""
+    config = make_storage_config(dataset_a, dataset_b, scale=scale)
+    result = spatial_join(
+        dataset_a,
+        dataset_b,
+        algorithm=algorithm,
+        predicate=predicate or Intersects(),
+        storage=config,
+        **params,
+    )
+    return ExperimentResult(
+        algorithm=algorithm, label=label or algorithm, result=result
+    )

@@ -1,0 +1,135 @@
+"""The six evaluation workloads (figures 8-10 / Table 4).
+
+Each workload names its data sets, predicate, and the two PBSM tile
+settings the paper plots ("PBSM with a number of tiles that achieves
+satisfactory load balance, and a number larger than that").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datagen.paper import default_scale, paper_datasets
+from repro.datagen.shift import shifted_copy
+from repro.join.dataset import SpatialDataset
+from repro.join.predicates import Intersects, JoinPredicate, WithinDistance
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluation workload."""
+
+    name: str
+    figure: str
+    dataset_a: str
+    dataset_b: str          # same as dataset_a -> self join
+    tiles_small: int
+    tiles_large: int
+    shifted_b: bool = False  # B is the shifted copy of A (LB', MG')
+    eps: float = 0.0         # within-distance epsilon (0 = overlap)
+    paper_normalized: dict[str, float] = field(default_factory=dict)
+    paper_replication: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def self_join(self) -> bool:
+        return self.dataset_a == self.dataset_b and not self.shifted_b
+
+    def predicate(self) -> JoinPredicate:
+        """The workload's join predicate."""
+        return WithinDistance(self.eps) if self.eps > 0 else Intersects()
+
+    def datasets(
+        self, scale: float | None = None
+    ) -> tuple[SpatialDataset, SpatialDataset]:
+        """Materialize (A, B); B *is* A for self joins."""
+        if scale is None:
+            scale = default_scale()
+        names = (
+            (self.dataset_a,)
+            if self.self_join or self.shifted_b
+            else (self.dataset_a, self.dataset_b)
+        )
+        made = paper_datasets(scale, only=names)
+        a = made[self.dataset_a]
+        if self.self_join:
+            return a, a
+        if self.shifted_b:
+            return a, shifted_copy(a)
+        return a, made[self.dataset_b]
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        name="UN1-UN2",
+        figure="8a",
+        dataset_a="UN1",
+        dataset_b="UN2",
+        tiles_small=20,
+        tiles_large=40,
+        paper_normalized={"pbsm_small": 1.3, "pbsm_large": 1.5, "shj": 1.35},
+        paper_replication={"pbsm_small": 2.44, "pbsm_large": 3.3, "shj": 1.5},
+    ),
+    Workload(
+        name="UN2-UN3",
+        figure="8b",
+        dataset_a="UN2",
+        dataset_b="UN3",
+        tiles_small=20,
+        tiles_large=40,
+        paper_normalized={"pbsm_small": 1.58, "pbsm_large": 1.85, "shj": 1.38},
+        paper_replication={"pbsm_small": 2.66, "pbsm_large": 3.8, "shj": 1.6},
+    ),
+    Workload(
+        name="LB-LB'",
+        figure="9a",
+        dataset_a="LB",
+        dataset_b="LB",
+        tiles_small=40,
+        tiles_large=50,
+        shifted_b=True,
+        paper_normalized={"pbsm_small": 1.9, "pbsm_large": 2.34, "shj": 1.33},
+        paper_replication={"pbsm_small": 2.4, "pbsm_large": 3.0, "shj": 1.62},
+    ),
+    Workload(
+        name="MG-MG'",
+        figure="9b",
+        dataset_a="MG",
+        dataset_b="MG",
+        tiles_small=40,
+        tiles_large=50,
+        shifted_b=True,
+        paper_normalized={"pbsm_small": 1.92, "pbsm_large": 2.26, "shj": 1.4},
+        paper_replication={"pbsm_small": 2.62, "pbsm_large": 3.2, "shj": 1.5},
+    ),
+    Workload(
+        name="TR",
+        figure="10a",
+        dataset_a="TR",
+        dataset_b="TR",
+        tiles_small=10,
+        tiles_large=30,
+        paper_normalized={"pbsm_small": 2.32, "pbsm_large": 3.1, "shj": 2.65},
+        paper_replication={"pbsm_small": 4.92, "pbsm_large": 7.8, "shj": 10.0},
+    ),
+    Workload(
+        name="CFD",
+        figure="10b",
+        dataset_a="CFD",
+        dataset_b="CFD",
+        tiles_small=40,
+        tiles_large=80,
+        eps=1e-6,
+        paper_normalized={"pbsm_small": 1.75, "pbsm_large": 1.96, "shj": 3.04},
+        paper_replication={"pbsm_small": 4.2, "pbsm_large": 4.6, "shj": 4.0},
+    ),
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look one workload up by its Table 4 row name."""
+    for workload in WORKLOADS:
+        if workload.name == name:
+            return workload
+    raise ValueError(
+        f"unknown workload {name!r}; choose from {[w.name for w in WORKLOADS]}"
+    )

@@ -1,0 +1,45 @@
+"""Hierarchical grid helpers shared by DSB and the tiling algorithms."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.geometry.rect import Rect
+
+
+def cell_of_point(x: float, y: float, level: int) -> tuple[int, int]:
+    """Grid coordinates of the level-``level`` cell containing a point."""
+    side = 1 << level
+    cx = min(int(x * side), side - 1)
+    cy = min(int(y * side), side - 1)
+    if not (0 <= cx < side and 0 <= cy < side):
+        raise ValueError(f"point ({x}, {y}) outside the unit square")
+    return cx, cy
+
+
+def cells_overlapping(rect: Rect, level: int) -> Iterator[tuple[int, int]]:
+    """All level-``level`` grid cells whose closed extent intersects the
+    closed rectangle.
+
+    This is the "determine all the partitions at level ``l`` that ``e``
+    overlaps" computation of the DSB precise mode (section 3.2), and
+    also PBSM's tile-overlap computation when tiles form a regular grid.
+    """
+    side = 1 << level
+    clipped = rect.clamped()
+    cx_lo = min(int(clipped.xlo * side), side - 1)
+    cy_lo = min(int(clipped.ylo * side), side - 1)
+    cx_hi = min(int(clipped.xhi * side), side - 1)
+    cy_hi = min(int(clipped.yhi * side), side - 1)
+    for cx in range(cx_lo, cx_hi + 1):
+        for cy in range(cy_lo, cy_hi + 1):
+            yield cx, cy
+
+
+def cell_rect(cx: int, cy: int, level: int) -> Rect:
+    """The extent of one level-``level`` grid cell."""
+    side = 1 << level
+    if not (0 <= cx < side and 0 <= cy < side):
+        raise ValueError(f"cell ({cx}, {cy}) outside the 2^{level} grid")
+    step = 1.0 / side
+    return Rect(cx * step, cy * step, (cx + 1) * step, (cy + 1) * step)

@@ -1,0 +1,140 @@
+"""The ``Level()`` function: which level file an entity belongs to.
+
+Section 3 of the paper: "The level ``j`` filter is composed of
+equally spaced lines in each dimension.  The level of an entity is the
+highest one (smallest ``j``) at which the MBR of the entity is
+intersected by any line of the filter" — computed as "the number of
+initial bits in which ``xl`` and ``xh`` as well as ``yl`` and ``yh``
+agree" [SK96].
+
+Concretely, a level-``l`` entity fits wholly inside one cell of the
+``2^l x 2^l`` grid but is cut by a line of the ``2^(l+1)`` grid:
+
+- level 0 — cut by the center line of the space (large entities);
+- level ``l`` — contained in a cell of side ``2^-l`` (small entities
+  fall to large ``l``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+DEFAULT_MAX_LEVEL = 16
+"""Levels are capped so tiny/point entities do not each get their own
+file; the paper reports "typically, 10 to 20" level files."""
+
+
+def common_prefix_bits(a: int, b: int, width: int) -> int:
+    """Number of initial (most significant) bits, out of ``width``, in
+    which the two non-negative integers agree."""
+    if a < 0 or b < 0:
+        raise ValueError("inputs must be non-negative")
+    diff = a ^ b
+    if diff >> width:
+        raise ValueError(f"inputs wider than {width} bits")
+    return width - diff.bit_length()
+
+
+class LevelAssigner:
+    """Quantizes MBR corners and computes Filter-Tree levels.
+
+    ``order`` is the quantization precision (bits per dimension);
+    ``max_level`` caps the deepest level file (``L`` in the paper).
+    """
+
+    def __init__(self, order: int = 16, max_level: int = DEFAULT_MAX_LEVEL) -> None:
+        if not 1 <= order <= 31:
+            raise ValueError("order must be between 1 and 31")
+        if not 0 <= max_level <= order:
+            raise ValueError("max_level must be between 0 and order")
+        self.order = order
+        self.max_level = max_level
+        self.side = 1 << order
+
+    @property
+    def num_levels(self) -> int:
+        """Number of level files: levels 0..max_level inclusive."""
+        return self.max_level + 1
+
+    def quantize(self, coord: float) -> int:
+        """Grid index of a normalized coordinate (clamped to the grid)."""
+        if not 0.0 <= coord <= 1.0:
+            raise ValueError(f"coordinate {coord} outside the unit square")
+        return min(int(coord * self.side), self.side - 1)
+
+    def level(self, mbr: Rect) -> int:
+        """The paper's ``Level(xl, yl, xh, yh)``.
+
+        Returns the largest ``l`` (capped at ``max_level``) such that
+        the MBR lies inside one cell of the ``2^l`` grid.
+        """
+        px = common_prefix_bits(
+            self.quantize(mbr.xlo), self.quantize(mbr.xhi), self.order
+        )
+        py = common_prefix_bits(
+            self.quantize(mbr.ylo), self.quantize(mbr.yhi), self.order
+        )
+        return min(px, py, self.max_level)
+
+    def levels(
+        self,
+        xlo: np.ndarray,
+        ylo: np.ndarray,
+        xhi: np.ndarray,
+        yhi: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`level` over arrays of normalized corners."""
+        qxlo = self._quantize_array(xlo)
+        qylo = self._quantize_array(ylo)
+        qxhi = self._quantize_array(xhi)
+        qyhi = self._quantize_array(yhi)
+        px = self.order - _bit_lengths(qxlo ^ qxhi)
+        py = self.order - _bit_lengths(qylo ^ qyhi)
+        return np.minimum(np.minimum(px, py), self.max_level)
+
+    def cell_side(self, level: int) -> float:
+        """Side length of a level-``level`` grid cell."""
+        return 1.0 / (1 << level)
+
+    def cell_of(self, mbr: Rect, level: int | None = None) -> tuple[int, int]:
+        """Grid coordinates of the level-``level`` cell containing the
+        MBR (defaults to the MBR's own level).
+
+        Raises :class:`ValueError` if the MBR does not fit in a single
+        cell at that level.
+        """
+        if level is None:
+            level = self.level(mbr)
+        shift = self.order - level
+        cx_lo = self.quantize(mbr.xlo) >> shift
+        cy_lo = self.quantize(mbr.ylo) >> shift
+        if level <= min(
+            self.level(mbr), self.max_level
+        ):  # fits by definition of level()
+            return (cx_lo, cy_lo)
+        cx_hi = self.quantize(mbr.xhi) >> shift
+        cy_hi = self.quantize(mbr.yhi) >> shift
+        if (cx_lo, cy_lo) != (cx_hi, cy_hi):
+            raise ValueError(f"MBR spans multiple level-{level} cells")
+        return (cx_lo, cy_lo)
+
+    def _quantize_array(self, coords: np.ndarray) -> np.ndarray:
+        values = np.asarray(coords, dtype=np.float64)
+        if values.size and (values.min() < 0.0 or values.max() > 1.0):
+            raise ValueError("coordinates outside the unit square")
+        return np.minimum(
+            (values * self.side).astype(np.int64), self.side - 1
+        )
+
+
+def _bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``int.bit_length`` for non-negative int64 arrays."""
+    lengths = np.zeros(values.shape, dtype=np.int64)
+    work = values.astype(np.int64).copy()
+    while np.any(work > 0):
+        positive = work > 0
+        lengths[positive] += 1
+        work >>= 1
+    return lengths

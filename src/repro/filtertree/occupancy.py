@@ -1,0 +1,63 @@
+"""Closed-form level occupancy for uniform squares (equation 2).
+
+For a data set of ``d x d`` squares uniformly distributed over the unit
+square, the fraction of objects landing in level file ``i`` is::
+
+    f_0    = d (2 - d)
+    f_i    = 2^i d (2 - (3 * 2^i - 2) d)     for i = 1 .. k(d) - 1
+    f_k(d) = (1 - (2^k - 1) d)^2
+
+where ``k(d) = floor(-log2 d)`` is the lowest level any ``d x d``
+object can fall to (the finest grid whose cells are still at least
+``d`` wide).  The forms follow from ``P(level >= i) = (1 - (2^i - 1) d)^2``
+— per dimension, the MBR avoids all ``2^i - 1`` interior grid lines —
+and are consistent with the paper's ``f_0`` and ``f_k`` terms.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def lowest_level(d: float) -> int:
+    """``k(d)``: the deepest level a ``d x d`` square can reach."""
+    if not 0.0 < d <= 1.0:
+        raise ValueError("square side d must be in (0, 1]")
+    return max(0, math.floor(-math.log2(d)))
+
+
+def probability_level_at_least(i: int, d: float) -> float:
+    """``P(level >= i)`` for a uniform ``d x d`` square."""
+    if i < 0:
+        raise ValueError("level must be non-negative")
+    if not 0.0 < d <= 1.0:
+        raise ValueError("square side d must be in (0, 1]")
+    per_dim = 1.0 - ((1 << i) - 1) * d
+    if per_dim <= 0.0:
+        return 0.0
+    return per_dim * per_dim
+
+
+def level_fraction(i: int, d: float) -> float:
+    """``f_i``: fraction of uniform ``d x d`` squares in level file ``i``."""
+    k = lowest_level(d)
+    if i > k:
+        return 0.0
+    if i == k:
+        return probability_level_at_least(k, d)
+    return probability_level_at_least(i, d) - probability_level_at_least(i + 1, d)
+
+
+def level_fractions(d: float, max_level: int | None = None) -> list[float]:
+    """All occupancy fractions ``[f_0, ..., f_k(d)]``.
+
+    When ``max_level`` is given, deeper levels are folded into the
+    ``max_level`` entry (matching a capped :class:`LevelAssigner`).
+    """
+    k = lowest_level(d)
+    fractions = [level_fraction(i, d) for i in range(k + 1)]
+    if max_level is not None and k > max_level:
+        folded = fractions[: max_level + 1]
+        folded[max_level] += sum(fractions[max_level + 1 :])
+        fractions = folded
+    return fractions

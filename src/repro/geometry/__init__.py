@@ -1,0 +1,37 @@
+"""Geometric primitives and exact predicates.
+
+This subpackage provides the geometry substrate used by every join
+algorithm in the library:
+
+- :class:`~repro.geometry.rect.Rect` — axis-aligned rectangles, the
+  Minimum Bounding Rectangle (MBR) approximation the paper's *filter
+  step* operates on.
+- :class:`~repro.geometry.shapes.Point`,
+  :class:`~repro.geometry.shapes.Segment`,
+  :class:`~repro.geometry.shapes.Polygon` — exact geometry payloads used
+  by the *refinement step*.
+- :class:`~repro.geometry.entity.Entity` — a spatial entity: an id, an
+  MBR, and an optional exact geometry.
+- :mod:`~repro.geometry.predicates` — exact predicate evaluation
+  (intersects, within-distance) on geometry payloads.
+"""
+
+from repro.geometry.entity import Entity
+from repro.geometry.predicates import (
+    geometries_intersect,
+    geometries_within_distance,
+    refine_pair,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.shapes import Point, Polygon, Segment
+
+__all__ = [
+    "Entity",
+    "Point",
+    "Polygon",
+    "Rect",
+    "Segment",
+    "geometries_intersect",
+    "geometries_within_distance",
+    "refine_pair",
+]

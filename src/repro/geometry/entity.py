@@ -1,0 +1,37 @@
+"""The spatial entity model shared by every algorithm in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.rect import Rect
+from repro.geometry.shapes import Point, Polygon, Segment
+
+Geometry = Point | Segment | Polygon | Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Entity:
+    """A spatial entity: a stable id, its MBR, and optionally the exact
+    geometry the MBR approximates.
+
+    The join algorithms' *filter step* touches only ``eid`` and ``mbr``
+    (this mirrors the paper's "entity descriptor": MBR corner points,
+    Hilbert value, and a pointer to the data).  The *refinement step*
+    dereferences ``geometry`` when present; entities without a geometry
+    payload are treated as rectangles equal to their MBR.
+    """
+
+    eid: int
+    mbr: Rect
+    geometry: Geometry | None = field(default=None, compare=False)
+
+    @classmethod
+    def from_geometry(cls, eid: int, geometry: Geometry) -> Entity:
+        """Build an entity whose MBR is derived from its geometry."""
+        mbr = geometry if isinstance(geometry, Rect) else geometry.mbr()
+        return cls(eid, mbr, geometry)
+
+    def exact_geometry(self) -> Geometry:
+        """The geometry the refinement step should test (MBR fallback)."""
+        return self.geometry if self.geometry is not None else self.mbr

@@ -1,0 +1,92 @@
+"""Exact predicate evaluation for the refinement step.
+
+The filter step produces candidate pairs whose MBRs satisfy the join
+predicate; :func:`refine_pair` then decides the predicate on the exact
+geometries (section 2: "the actual spatial objects corresponding to the
+candidate pairs are checked under the predicate").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.entity import Entity, Geometry
+from repro.geometry.rect import Rect
+from repro.geometry.shapes import Point, Polygon, Segment
+
+
+def geometries_intersect(a: Geometry, b: Geometry) -> bool:
+    """Exact intersection test between any two geometry payloads."""
+    return geometries_within_distance(a, b, 0.0)
+
+
+def geometries_within_distance(a: Geometry, b: Geometry, eps: float) -> bool:
+    """True when the minimum distance between ``a`` and ``b`` is <= ``eps``."""
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    return _min_distance(a, b) <= eps
+
+
+def refine_pair(a: Entity, b: Entity, eps: float = 0.0) -> bool:
+    """Refinement-step check of one candidate pair.
+
+    ``eps == 0`` evaluates the *overlap* predicate; ``eps > 0``
+    evaluates *distance within eps*.
+    """
+    return geometries_within_distance(a.exact_geometry(), b.exact_geometry(), eps)
+
+
+def _min_distance(a: Geometry, b: Geometry) -> float:
+    """Exact minimum Euclidean distance between two geometries.
+
+    Dispatches on the (unordered) type pair; each branch is exact, not
+    an MBR approximation.
+    """
+    if isinstance(a, Point) and isinstance(b, Point):
+        return a.distance_to(b)
+    if isinstance(a, Point):
+        return _min_distance(b, a)
+
+    if isinstance(a, Segment):
+        if isinstance(b, Point):
+            return a.distance_to_point(b.x, b.y)
+        if isinstance(b, Segment):
+            return a.distance_to(b)
+        return _min_distance(b, a)
+
+    if isinstance(a, Polygon):
+        if isinstance(b, Point):
+            if a.contains_point(b.x, b.y):
+                return 0.0
+            return min(e.distance_to_point(b.x, b.y) for e in a.edges())
+        if isinstance(b, Segment):
+            if a.contains_point(b.x1, b.y1) or a.contains_point(b.x2, b.y2):
+                return 0.0
+            return min(e.distance_to(b) for e in a.edges())
+        if isinstance(b, Polygon):
+            return a.distance_to(b)
+        return _min_distance(b, a)
+
+    if isinstance(a, Rect):
+        if isinstance(b, Rect):
+            return a.min_distance(b)
+        return _rect_to_geometry_distance(a, b)
+
+    raise TypeError(f"unsupported geometry type: {type(a).__name__}")
+
+
+def _rect_to_geometry_distance(rect: Rect, geom: Geometry) -> float:
+    """Distance from a solid rectangle to a point/segment/polygon."""
+    if isinstance(geom, Point):
+        dx = max(rect.xlo - geom.x, geom.x - rect.xhi, 0.0)
+        dy = max(rect.ylo - geom.y, geom.y - rect.yhi, 0.0)
+        return math.hypot(dx, dy)
+    as_polygon = Polygon(
+        (
+            (rect.xlo, rect.ylo),
+            (rect.xhi, rect.ylo),
+            (rect.xhi, rect.yhi),
+            (rect.xlo, rect.yhi),
+        )
+    )
+    return _min_distance(as_polygon, geom)

@@ -1,0 +1,144 @@
+"""Axis-aligned rectangles (Minimum Bounding Rectangles).
+
+The paper describes every spatial entity by its MBR during the filter
+step (section 2).  ``Rect`` is an immutable, closed, axis-aligned box in
+normalized ``[0, 1]`` coordinates (the paper's "unit square").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xlo, xhi] x [ylo, yhi]``.
+
+    Degenerate rectangles (points, horizontal/vertical segments) are
+    allowed and common: point data sets have ``xlo == xhi`` and
+    ``ylo == yhi``.
+    """
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi:
+            raise ValueError(
+                f"malformed Rect: ({self.xlo}, {self.ylo}, {self.xhi}, {self.yhi})"
+            )
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, width: float, height: float) -> Rect:
+        """Build a rectangle from its center point and side lengths."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(cx - width / 2, cy - height / 2, cx + width / 2, cy + height / 2)
+
+    @classmethod
+    def point(cls, x: float, y: float) -> Rect:
+        """A degenerate rectangle covering the single point ``(x, y)``."""
+        return cls(x, y, x, y)
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Midpoint of the MBR — the point whose Hilbert value S3J sorts by."""
+        return ((self.xlo + self.xhi) / 2, (self.ylo + self.yhi) / 2)
+
+    def intersects(self, other: Rect) -> bool:
+        """Closed-interval overlap test (boundary contact counts)."""
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+
+    def contains(self, other: Rect) -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when the point lies inside or on the boundary."""
+        return self.xlo <= x <= self.xhi and self.ylo <= y <= self.yhi
+
+    def intersection(self, other: Rect) -> Rect | None:
+        """The overlapping region, or ``None`` when disjoint."""
+        xlo = max(self.xlo, other.xlo)
+        ylo = max(self.ylo, other.ylo)
+        xhi = min(self.xhi, other.xhi)
+        yhi = min(self.yhi, other.yhi)
+        if xlo > xhi or ylo > yhi:
+            return None
+        return Rect(xlo, ylo, xhi, yhi)
+
+    def union(self, other: Rect) -> Rect:
+        """The smallest rectangle covering both operands.
+
+        This is the MBR-expansion step SHJ performs when an entity is
+        inserted into a partition (section 2.2).
+        """
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def expanded(self, margin: float) -> Rect:
+        """Grow every side outward by ``margin``.
+
+        Used to evaluate *distance within epsilon* predicates on MBRs:
+        ``a`` is within ``eps`` of ``b`` only if ``a.expanded(eps)``
+        intersects ``b``.
+        """
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return Rect(
+            self.xlo - margin, self.ylo - margin, self.xhi + margin, self.yhi + margin
+        )
+
+    def clamped(self, lo: float = 0.0, hi: float = 1.0) -> Rect:
+        """Clip the rectangle to the square ``[lo, hi]^2``."""
+
+        def clamp(v: float) -> float:
+            return min(max(v, lo), hi)
+
+        return Rect(clamp(self.xlo), clamp(self.ylo), clamp(self.xhi), clamp(self.yhi))
+
+    def min_distance(self, other: Rect) -> float:
+        """Euclidean distance between the closest points of two rectangles.
+
+        Zero when the rectangles intersect.
+        """
+        dx = max(self.xlo - other.xhi, other.xlo - self.xhi, 0.0)
+        dy = max(self.ylo - other.yhi, other.ylo - self.yhi, 0.0)
+        return math.hypot(dx, dy)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """The corners as ``(xlo, ylo, xhi, yhi)``."""
+        return (self.xlo, self.ylo, self.xhi, self.yhi)
+
+
+UNIT_SQUARE = Rect(0.0, 0.0, 1.0, 1.0)
+"""The normalized data space every data set in the paper lives in."""

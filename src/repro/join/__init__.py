@@ -1,0 +1,27 @@
+"""Spatial join framework and public API.
+
+The pieces shared by all three algorithms — the two-step
+filter/refinement pipeline, the dataset abstraction, per-phase metrics
+(Table 2 of the paper), and the top-level :func:`spatial_join` entry
+point.
+"""
+
+from repro.join.api import available_algorithms, make_algorithm, spatial_join
+from repro.join.dataset import SpatialDataset
+from repro.join.metrics import JoinMetrics
+from repro.join.multiway import spatial_multiway_join
+from repro.join.predicates import Intersects, JoinPredicate, WithinDistance
+from repro.join.result import JoinResult
+
+__all__ = [
+    "Intersects",
+    "JoinMetrics",
+    "JoinPredicate",
+    "JoinResult",
+    "SpatialDataset",
+    "WithinDistance",
+    "available_algorithms",
+    "make_algorithm",
+    "spatial_join",
+    "spatial_multiway_join",
+]

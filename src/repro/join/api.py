@@ -1,0 +1,138 @@
+"""Top-level public API: run a spatial join end to end.
+
+Typical use::
+
+    from repro import spatial_join, WithinDistance
+    result = spatial_join(theaters, parking_lots,
+                          algorithm="s3j",
+                          predicate=WithinDistance(0.001),
+                          refine=True)
+    print(len(result.refined), "adjacent pairs")
+    print(result.metrics.describe())
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any
+
+import importlib
+
+from repro.join.base import SpatialJoinAlgorithm
+from repro.join.dataset import SpatialDataset
+from repro.join.predicates import Intersects, JoinPredicate
+from repro.join.result import JoinResult
+from repro.storage.manager import StorageConfig, StorageManager
+
+# Algorithms are resolved lazily (module path, class name) to keep the
+# join framework importable from the algorithm modules themselves.
+_ALGORITHMS: dict[str, tuple[str, str]] = {
+    "s3j": ("repro.core.s3j", "SizeSeparationSpatialJoin"),
+    "pbsm": ("repro.baselines.pbsm", "PartitionBasedSpatialMergeJoin"),
+    "shj": ("repro.baselines.shj", "SpatialHashJoin"),
+}
+
+_input_counter = itertools.count()
+
+DEFAULT_MEMORY_FRACTION = 0.10
+"""Buffer pool sized at 10% of the combined input size, the paper's
+default experimental setting (section 5)."""
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names accepted by :func:`spatial_join` and :func:`make_algorithm`."""
+    return tuple(sorted(_ALGORITHMS))
+
+
+def make_algorithm(
+    name: str, storage: StorageManager, **params: Any
+) -> SpatialJoinAlgorithm:
+    """Instantiate a join algorithm by name."""
+    try:
+        module_name, class_name = _ALGORITHMS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {available_algorithms()}"
+        ) from None
+    cls = getattr(importlib.import_module(module_name), class_name)
+    return cls(storage, **params)
+
+
+def default_storage_config(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+) -> StorageConfig:
+    """A storage configuration with the paper's memory sizing: buffer
+    space equal to ``memory_fraction`` of the combined input size."""
+    config = StorageConfig()
+    per_page = 4096 // 48  # descriptors per default page
+    pages = math.ceil(len(dataset_a) / per_page) + math.ceil(
+        len(dataset_b) / per_page
+    )
+    buffer_pages = max(16, math.ceil(memory_fraction * pages))
+    return StorageConfig(buffer_pages=buffer_pages)
+
+
+def spatial_join(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    algorithm: str = "s3j",
+    predicate: JoinPredicate | None = None,
+    storage: StorageManager | StorageConfig | None = None,
+    refine: bool = False,
+    **params: Any,
+) -> JoinResult:
+    """Join two spatial data sets and return candidate (and optionally
+    refined) pairs with full per-phase metrics.
+
+    Passing the *same object* for both data sets runs a self join: the
+    data set is joined against an identical copy of itself and mirrored
+    pairs are canonicalized (section 5.2.1).
+
+    ``params`` are forwarded to the algorithm's constructor (e.g.
+    ``tiles_per_dim=40`` for PBSM, ``dsb_level=8`` for S3J with
+    filtering).
+    """
+    predicate = predicate or Intersects()
+    self_join = dataset_a is dataset_b
+
+    owns_storage = not isinstance(storage, StorageManager)
+    if isinstance(storage, StorageManager):
+        manager = storage
+    else:
+        config = storage if isinstance(storage, StorageConfig) else None
+        manager = StorageManager(config or default_storage_config(dataset_a, dataset_b))
+
+    try:
+        # The "Hilbert values as part of the descriptors" option
+        # (section 3.1) needs the keys materialized in the base data.
+        curve = None
+        if params.get("hilbert_precomputed"):
+            from repro.curves.hilbert import HilbertCurve
+
+            curve = params.get("curve") or HilbertCurve()
+
+        uid = next(_input_counter)
+        input_a = dataset_a.write_descriptors(
+            manager, f"input-A-{uid}", margin=predicate.mbr_margin, curve=curve
+        )
+        input_b = dataset_b.write_descriptors(
+            manager, f"input-B-{uid}", margin=predicate.mbr_margin, curve=curve
+        )
+        # Base data pre-exists the join: flush it and zero the ledger so
+        # the metrics cover only the join's own work.
+        manager.phase_boundary()
+        manager.stats.reset()
+
+        algo = make_algorithm(algorithm, manager, **params)
+        result = algo.join(input_a, input_b, self_join=self_join)
+        if refine:
+            entities_a = dataset_a.entity_by_id()
+            entities_b = entities_a if self_join else dataset_b.entity_by_id()
+            result.refine(predicate, entities_a, entities_b, stats=manager.stats)
+        return result
+    finally:
+        if owns_storage:
+            manager.close()

@@ -1,0 +1,69 @@
+"""Base class for spatial join algorithms.
+
+All three algorithms operate on *descriptor files* (paged files of
+entity descriptors already expanded for the predicate's margin) and
+produce a set of candidate pairs plus per-phase metrics.  They are
+predicate-agnostic: the filter step is always MBR intersection; the
+refinement step happens above them (see :mod:`repro.join.api`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+
+from repro.join.metrics import JoinMetrics
+from repro.join.result import JoinResult, canonical_pairs
+from repro.storage.manager import StorageManager
+from repro.storage.pagedfile import PagedFile
+
+_run_counter = itertools.count()
+
+
+class SpatialJoinAlgorithm(ABC):
+    """One join algorithm bound to a storage manager."""
+
+    name: str = "abstract"
+    phase_names: tuple[str, ...] = ()
+
+    def __init__(self, storage: StorageManager) -> None:
+        self.storage = storage
+        self._run_id = next(_run_counter)
+
+    def _file_name(self, suffix: str) -> str:
+        """A collision-free per-run internal file name."""
+        return f"{self.name}-{self._run_id}-{suffix}"
+
+    @abstractmethod
+    def run_filter_step(
+        self, input_a: PagedFile, input_b: PagedFile
+    ) -> tuple[set[tuple[int, int]], JoinMetrics]:
+        """Execute the filter step and return raw candidate pairs plus
+        metrics.  Raw pairs may contain mirrored duplicates for self
+        joins; they are canonicalized by :meth:`join`."""
+
+    def join(
+        self, input_a: PagedFile, input_b: PagedFile, self_join: bool = False
+    ) -> JoinResult:
+        """Run the filter step and package the result."""
+        raw_pairs, metrics = self.run_filter_step(input_a, input_b)
+        return JoinResult(
+            pairs=canonical_pairs(raw_pairs, self_join),
+            metrics=metrics,
+            self_join=self_join,
+        )
+
+    def _build_metrics(self, **extra: object) -> JoinMetrics:
+        """Collect this run's phase stats from the storage ledger."""
+        stats = self.storage.stats
+        return JoinMetrics(
+            algorithm=self.name,
+            phase_names=self.phase_names,
+            phases={
+                name: stats.phases[name]
+                for name in self.phase_names
+                if name in stats.phases
+            },
+            cost_model=self.storage.cost_model,
+            details=dict(extra),
+        )

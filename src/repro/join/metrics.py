@@ -1,0 +1,90 @@
+"""Per-phase join metrics (the paper's Table 2 and Table 4 quantities).
+
+Each algorithm accounts its work into named phases:
+
+=========  =========================================================
+algorithm  phases (Table 2)
+=========  =========================================================
+S3J        partition, sort, join
+PBSM       partition, join, sort
+SHJ        partition, join
+=========  =========================================================
+
+and reports replication factors ``r_A``/``r_B`` (equation 9: data set
+size after replication and filtering over original size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.costs import CostModel
+from repro.storage.iostats import PhaseStats
+
+
+@dataclass
+class JoinMetrics:
+    """Everything measured about one join execution."""
+
+    algorithm: str
+    phase_names: tuple[str, ...]
+    phases: dict[str, PhaseStats]
+    cost_model: CostModel
+    replication_a: float = 1.0
+    replication_b: float = 1.0
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def phase_time(self, name: str) -> float:
+        """Simulated seconds spent in one phase (0 for absent phases)."""
+        stats = self.phases.get(name)
+        if stats is None:
+            return 0.0
+        return self.cost_model.response_time(stats)
+
+    def phase_ios(self, name: str) -> int:
+        """Physical page transfers in one phase (0 for absent phases)."""
+        stats = self.phases.get(name)
+        return 0 if stats is None else stats.total_ios
+
+    @property
+    def response_time(self) -> float:
+        """Total simulated response time (sum over the phases)."""
+        return sum(self.phase_time(name) for name in self.phase_names)
+
+    @property
+    def total_ios(self) -> int:
+        """Total physical page reads + writes across all phases."""
+        return sum(self.phase_ios(name) for name in self.phase_names)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(
+            self.phases[name].page_reads for name in self.phase_names if name in self.phases
+        )
+
+    @property
+    def total_writes(self) -> int:
+        return sum(
+            self.phases[name].page_writes for name in self.phase_names if name in self.phases
+        )
+
+    @property
+    def replication_total(self) -> float:
+        """The paper's Table 4 column ``r_A + r_B``."""
+        return self.replication_a + self.replication_b
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase -> simulated seconds, in the algorithm's phase order."""
+        return {name: self.phase_time(name) for name in self.phase_names}
+
+    def describe(self) -> str:
+        """A compact human-readable summary line."""
+        phases = ", ".join(
+            f"{name}={seconds:.2f}s" for name, seconds in self.breakdown().items()
+        )
+        return (
+            f"{self.algorithm}: total={self.response_time:.2f}s "
+            f"ios={self.total_ios} r_A={self.replication_a:.2f} "
+            f"r_B={self.replication_b:.2f} [{phases}]"
+        )

@@ -1,0 +1,77 @@
+"""Join predicates.
+
+A spatial join "applies predicate theta to pairs of elements from A and
+B.  Predicates might include overlap, distance within epsilon, etc."
+(section 2).  A predicate contributes two things:
+
+- an **MBR margin** applied to every descriptor before the filter step,
+  chosen so MBR intersection of expanded descriptors is a conservative
+  (no-false-negative) test for the predicate; and
+- an exact **refinement test** on actual geometries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.geometry.entity import Entity
+from repro.geometry.predicates import refine_pair
+
+
+class JoinPredicate(ABC):
+    """The join condition theta."""
+
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def mbr_margin(self) -> float:
+        """How much to expand every MBR (per side) before the filter
+        step so that expanded-MBR intersection never misses a true
+        result pair."""
+
+    @abstractmethod
+    def refine(self, a: Entity, b: Entity) -> bool:
+        """Exact predicate evaluation on the two entities' geometries."""
+
+
+@dataclass(frozen=True)
+class Intersects(JoinPredicate):
+    """The *overlap* predicate: geometries share at least one point."""
+
+    name = "intersects"
+
+    @property
+    def mbr_margin(self) -> float:
+        return 0.0
+
+    def refine(self, a: Entity, b: Entity) -> bool:
+        return refine_pair(a, b, eps=0.0)
+
+
+@dataclass(frozen=True)
+class WithinDistance(JoinPredicate):
+    """The *distance within epsilon* predicate (e.g. the paper's CFD
+    self-join finding all point pairs within 1e-6 of each other).
+
+    Each MBR is expanded by ``eps / 2``; two entities within Euclidean
+    distance ``eps`` are also within Chebyshev distance ``eps``, so
+    their expanded MBRs intersect — the filter step is conservative and
+    refinement applies the exact Euclidean test.
+    """
+
+    eps: float
+
+    name = "within_distance"
+
+    def __post_init__(self) -> None:
+        if self.eps < 0:
+            raise ValueError("eps must be non-negative")
+
+    @property
+    def mbr_margin(self) -> float:
+        return self.eps / 2
+
+    def refine(self, a: Entity, b: Entity) -> bool:
+        return refine_pair(a, b, eps=self.eps)

@@ -1,0 +1,14 @@
+"""External sorting.
+
+The paper implements S3J's sort phase and PBSM's duplicate-eliminating
+result sort with "a sort utility commonly available in database
+systems"; S3J and PBSM share the same sorting module in the prototype
+(section 5).  :class:`~repro.sorting.external_sort.ExternalSorter` is
+that module: a multi-pass merge sort over paged files with fan-in
+``F = M / B`` (section 4.1.1) and optional duplicate elimination
+applied in every pass (section 4.1.2, equation 15).
+"""
+
+from repro.sorting.external_sort import ExternalSorter, SortResult
+
+__all__ = ["ExternalSorter", "SortResult"]

@@ -1,0 +1,203 @@
+"""Multi-pass external merge sort over paged files."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.storage.backend import Record
+from repro.storage.manager import StorageManager
+from repro.storage.pagedfile import PagedFile
+from repro.storage.records import RecordCodec
+
+SortKey = Callable[[Record], Any]
+
+
+@dataclass(frozen=True)
+class SortResult:
+    """What one external sort did."""
+
+    output: PagedFile
+    initial_runs: int
+    merge_passes: int
+
+    @property
+    def total_passes(self) -> int:
+        """Run formation plus merge passes (the paper's ``l_i``)."""
+        return 1 + self.merge_passes
+
+
+class ExternalSorter:
+    """Sort a paged file by a record key in ``M`` pages of memory.
+
+    Run formation fills ``memory_pages`` worth of records, sorts them in
+    memory, and spills a run; merging proceeds with fan-in
+    ``F = max(2, memory_pages // bulk_pages - 1)`` (one buffer is
+    reserved for output), the paper's ``F = M / B`` with bulk reads of
+    ``B`` pages.  With ``unique=True`` adjacent duplicate records are
+    dropped in every pass — duplicate elimination "can take place in any
+    phase of the sort" (section 4.1.2).
+    """
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        memory_pages: int | None = None,
+        bulk_pages: int = 1,
+    ) -> None:
+        if bulk_pages < 1:
+            raise ValueError("bulk_pages must be positive")
+        self.storage = storage
+        self.memory_pages = memory_pages or storage.memory_pages
+        if self.memory_pages < 2:
+            raise ValueError("external sort needs at least two memory pages")
+        self.bulk_pages = bulk_pages
+        self._seq = 0
+
+    @property
+    def fan_in(self) -> int:
+        """Merge fan-in ``F`` (at least two-way)."""
+        return max(2, self.memory_pages // self.bulk_pages - 1)
+
+    def predicted_passes(self, file_pages: int) -> int:
+        """The paper's ``l_i = ceil(log_F(S_i / M)) + 1`` pass count
+        (1 when the file fits in memory)."""
+        if file_pages <= self.memory_pages:
+            return 1
+        runs = math.ceil(file_pages / self.memory_pages)
+        return 1 + math.ceil(math.log(runs, self.fan_in))
+
+    def sort(
+        self,
+        source: PagedFile,
+        output_name: str,
+        key: SortKey,
+        unique: bool = False,
+    ) -> SortResult:
+        """Sort ``source`` into a new file named ``output_name``."""
+        codec = source.codec
+        run_names = self._form_runs(source, key, codec, unique)
+        initial_runs = len(run_names)
+        merge_passes = 0
+        while len(run_names) > 1:
+            run_names = self._merge_pass(run_names, key, codec, unique)
+            merge_passes += 1
+        if run_names:
+            final_name = run_names[0]
+        else:  # empty input: produce an empty output file
+            final_name = self._new_run_name()
+            self.storage.create_file(final_name, codec)
+        output = self._rename(final_name, output_name)
+        return SortResult(output=output, initial_runs=initial_runs, merge_passes=merge_passes)
+
+    # -- internals --------------------------------------------------------
+
+    def _new_run_name(self) -> str:
+        self._seq += 1
+        return f"__sort-run-{id(self)}-{self._seq}"
+
+    def _form_runs(
+        self, source: PagedFile, key: SortKey, codec: RecordCodec, unique: bool
+    ) -> list[str]:
+        """Pass 0: read the input sequentially, spill sorted runs of
+        ``memory_pages`` pages each."""
+        run_names: list[str] = []
+        capacity = self.memory_pages * source.records_per_page
+        batch: list[Record] = []
+
+        def spill() -> None:
+            if not batch:
+                return
+            batch.sort(key=key)
+            self.storage.stats.charge_cpu(
+                "compare", _comparison_count(len(batch))
+            )
+            name = self._new_run_name()
+            run = self.storage.create_file(name, codec)
+            run.append_many(_drop_adjacent_duplicates(iter(batch)) if unique else batch)
+            self.storage.pool.invalidate(name)  # spill the run to disk
+            run_names.append(name)
+            batch.clear()
+
+        for record in source.scan():
+            batch.append(record)
+            if len(batch) >= capacity:
+                spill()
+        spill()
+        return run_names
+
+    def _merge_pass(
+        self, run_names: list[str], key: SortKey, codec: RecordCodec, unique: bool
+    ) -> list[str]:
+        """Merge groups of ``fan_in`` runs into longer runs."""
+        fan_in = self.fan_in
+        merged_names: list[str] = []
+        for start in range(0, len(run_names), fan_in):
+            group = run_names[start : start + fan_in]
+            if len(group) == 1:
+                # A lone leftover run passes through without being copied.
+                merged_names.append(group[0])
+                continue
+            name = self._new_run_name()
+            out = self.storage.create_file(name, codec)
+            streams = [self.storage.open_file(run).scan() for run in group]
+            merged = self._merge_streams(streams, key)
+            if unique:
+                merged = _drop_adjacent_duplicates(merged)
+            out.append_many(merged)
+            self.storage.pool.invalidate(name)
+            for run in group:
+                self.storage.drop_file(run)
+            merged_names.append(name)
+        return merged_names
+
+    def _merge_streams(
+        self, streams: list[Iterator[Record]], key: SortKey
+    ) -> Iterator[Record]:
+        """Heap-based k-way merge, charging one comparison per heap op."""
+        heap: list[tuple[Any, int, Record]] = []
+        for index, stream in enumerate(streams):
+            record = next(stream, None)
+            if record is not None:
+                heap.append((key(record), index, record))
+        heapq.heapify(heap)
+        levels = max(1, math.ceil(math.log2(len(streams) + 1)))
+        while heap:
+            sort_key, index, record = heapq.heappop(heap)
+            self.storage.stats.charge_cpu("compare", levels)
+            yield record
+            nxt = next(streams[index], None)
+            if nxt is not None:
+                heapq.heappush(heap, (key(nxt), index, nxt))
+
+    def _rename(self, current: str, target: str) -> PagedFile:
+        """Rewrite the final run under its public name (metadata only —
+        no page I/O is charged, like a filesystem rename)."""
+        source = self.storage.open_file(current)
+        output = self.storage.create_file(target, source.codec)
+        for page_no in range(source.num_pages):
+            records = self.storage.backend.read_page(current, page_no)
+            self.storage.backend.write_page(target, page_no, records)
+        output.num_pages = source.num_pages
+        output.num_records = source.num_records
+        output._tail_count = source._tail_count
+        self.storage.drop_file(current)
+        return output
+
+
+def _comparison_count(n: int) -> int:
+    """Comparisons for an in-memory sort of ``n`` records."""
+    if n < 2:
+        return 0
+    return int(n * math.log2(n))
+
+
+def _drop_adjacent_duplicates(records: Iterator[Record]) -> Iterator[Record]:
+    """Yield records, skipping ones equal to their predecessor."""
+    previous: Record | None = None
+    for record in records:
+        if record != previous:
+            yield record
+            previous = record

@@ -1,0 +1,141 @@
+"""The I/O and CPU ledger.
+
+Every physical page transfer performed by the buffer pool, and every
+counted CPU operation (Hilbert computations, comparisons, MBR
+intersection tests...), is recorded here, attributed both to a running
+total and to the currently open *phase* — so experiments can report the
+paper's per-phase breakdown (Table 2: partition / sort / join).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class PhaseStats:
+    """Counters accumulated while one phase was active."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    random_reads: int = 0
+    random_writes: int = 0
+    buffer_hits: int = 0
+    cpu_ops: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sequential_reads(self) -> int:
+        return self.page_reads - self.random_reads
+
+    @property
+    def sequential_writes(self) -> int:
+        return self.page_writes - self.random_writes
+
+    @property
+    def total_ios(self) -> int:
+        """Total physical page transfers (the paper's page reads and writes)."""
+        return self.page_reads + self.page_writes
+
+    def charge_cpu(self, op: str, count: int = 1) -> None:
+        """Count ``count`` operations of kind ``op`` in this bucket."""
+        self.cpu_ops[op] = self.cpu_ops.get(op, 0) + count
+
+    def merged_into(self, other: PhaseStats) -> None:
+        """Add this bucket's counters into ``other`` (for snapshots)."""
+        other.page_reads += self.page_reads
+        other.page_writes += self.page_writes
+        other.random_reads += self.random_reads
+        other.random_writes += self.random_writes
+        other.buffer_hits += self.buffer_hits
+        for op, count in self.cpu_ops.items():
+            other.charge_cpu(op, count)
+
+
+class IOStats:
+    """Ledger of physical I/O and counted CPU work, with phase breakdown.
+
+    Phases nest; counts are attributed to the innermost open phase and
+    to the grand total.  Typical use::
+
+        stats = IOStats()
+        with stats.phase("partition"):
+            ...  # buffer pool records transfers automatically
+        print(stats.phases["partition"].total_ios)
+    """
+
+    def __init__(self) -> None:
+        self.total = PhaseStats()
+        self.phases: dict[str, PhaseStats] = {}
+        self._open: list[PhaseStats] = []
+        # Last page position per file, separately for reads and writes:
+        # a transfer is sequential when it immediately follows the
+        # previous transfer of the same file (modeling per-file
+        # readahead / append buffering).
+        self._last_read: dict[str, int] = {}
+        self._last_write: dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Open a named accounting phase for the duration of the block."""
+        bucket = self.phases.setdefault(name, PhaseStats())
+        self._open.append(bucket)
+        try:
+            yield bucket
+        finally:
+            self._open.pop()
+
+    def _buckets(self) -> list[PhaseStats]:
+        # Innermost open phase wins, so phases may nest (e.g. PBSM
+        # attributing repartition work back to its partition phase)
+        # without double counting: the per-phase buckets always sum to
+        # the total.
+        if self._open:
+            return [self.total, self._open[-1]]
+        return [self.total]
+
+    def record_read(self, file_name: str, page_no: int) -> None:
+        """Record one physical page read; classifies it as sequential
+        when it immediately follows the previous read of the same file."""
+        random = self._last_read.get(file_name) != page_no - 1
+        self._last_read[file_name] = page_no
+        for bucket in self._buckets():
+            bucket.page_reads += 1
+            if random:
+                bucket.random_reads += 1
+
+    def record_write(self, file_name: str, page_no: int) -> None:
+        """Record one physical page write (sequential/random as above)."""
+        random = self._last_write.get(file_name) != page_no - 1
+        self._last_write[file_name] = page_no
+        for bucket in self._buckets():
+            bucket.page_writes += 1
+            if random:
+                bucket.random_writes += 1
+
+    def record_hit(self) -> None:
+        """Record a buffer pool hit (a logical access with no transfer)."""
+        for bucket in self._buckets():
+            bucket.buffer_hits += 1
+
+    def charge_cpu(self, op: str, count: int = 1) -> None:
+        """Count ``count`` CPU operations of kind ``op`` (e.g. "hilbert",
+        "mbr_test", "compare")."""
+        for bucket in self._buckets():
+            bucket.charge_cpu(op, count)
+
+    def reset(self) -> None:
+        """Zero all counters and phases (run-sequencing positions are
+        kept).  Used after experiment setup (writing base data) so a
+        join run measures only its own work."""
+        if self._open:
+            raise RuntimeError("cannot reset the ledger while a phase is open")
+        self.total = PhaseStats()
+        self.phases = {}
+
+    def snapshot(self) -> PhaseStats:
+        """A copy of the running totals (for before/after deltas)."""
+        copy = PhaseStats()
+        self.total.merged_into(copy)
+        return copy

@@ -1,0 +1,141 @@
+"""The storage manager: named files, buffer pool, ledger, cost models."""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.storage.backend import FileBackend, MemoryBackend, StorageBackend
+from repro.storage.buffer import BufferPool
+from repro.storage.costs import CostModel
+from repro.storage.iostats import IOStats
+from repro.storage.pagedfile import PagedFile
+from repro.storage.records import EntityDescriptorCodec, RecordCodec
+
+DEFAULT_PAGE_SIZE = 4096
+"""4 KB pages, as in the paper's bitmap sizing example (section 3.2)."""
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Configuration of one storage manager instance.
+
+    ``buffer_pages`` is the paper's ``M``: the number of main-memory
+    page frames available to an operator.  Experiments set it to 10% of
+    the combined input size (section 5) unless stated otherwise.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_pages: int = 128
+    backend: str = "memory"
+    directory: str | None = None
+    cost_model: CostModel = field(default_factory=CostModel)
+
+
+class StorageManager:
+    """Creates, opens, and drops paged files over one buffer pool.
+
+    Use as a context manager so file handles and temporary directories
+    are released::
+
+        with StorageManager(StorageConfig(buffer_pages=64)) as storage:
+            f = storage.create_file("level-0")
+            ...
+    """
+
+    def __init__(self, config: StorageConfig | None = None) -> None:
+        self.config = config or StorageConfig()
+        self.stats = IOStats()
+        self.cost_model = self.config.cost_model
+        self._tempdir: tempfile.TemporaryDirectory[str] | None = None
+        self.backend = self._make_backend()
+        self.pool = BufferPool(self.backend, self.config.buffer_pages, self.stats)
+        self._files: dict[str, PagedFile] = {}
+
+    def _make_backend(self) -> StorageBackend:
+        if self.config.backend == "memory":
+            return MemoryBackend()
+        if self.config.backend == "disk":
+            directory = self.config.directory
+            if directory is None:
+                self._tempdir = tempfile.TemporaryDirectory(prefix="repro-storage-")
+                directory = self._tempdir.name
+            return FileBackend(directory)
+        raise ValueError(
+            f"unknown backend {self.config.backend!r}; choose 'memory' or 'disk'"
+        )
+
+    # -- file lifecycle -------------------------------------------------
+
+    def create_file(self, name: str, codec: RecordCodec | None = None) -> PagedFile:
+        """Create a new empty paged file (entity descriptors by default)."""
+        if name in self._files:
+            raise FileExistsError(f"storage file {name!r} already exists")
+        codec = codec or EntityDescriptorCodec()
+        self.backend.create_file(name, codec, self.config.page_size)
+        handle = PagedFile(name, codec, self.config.page_size, self.pool)
+        self._files[name] = handle
+        return handle
+
+    def open_file(self, name: str) -> PagedFile:
+        """Return the handle of an existing file (KeyError-safe)."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no storage file named {name!r}") from None
+
+    def drop_file(self, name: str) -> None:
+        """Delete a file: its buffered pages are discarded, not flushed."""
+        handle = self._files.pop(name, None)
+        if handle is None:
+            raise FileNotFoundError(f"no storage file named {name!r}")
+        self.pool.drop_file(name)
+        self.backend.delete_file(name)
+
+    def list_files(self) -> list[str]:
+        """Names of all live files, sorted."""
+        return sorted(self._files)
+
+    # -- accounting helpers ---------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.config.page_size
+
+    @property
+    def memory_pages(self) -> int:
+        """The paper's ``M``."""
+        return self.config.buffer_pages
+
+    def descriptors_per_page(self) -> int:
+        """The paper's ``E`` for the default entity descriptor codec."""
+        return EntityDescriptorCodec().records_per_page(self.config.page_size)
+
+    def phase_boundary(self) -> None:
+        """Flush and drop all cached pages.
+
+        Called between operator phases (partition -> sort -> join) so
+        each phase pays its own input reads, matching the phase-by-phase
+        page-I/O accounting of the paper's section 4.
+        """
+        self.pool.invalidate()
+
+    def response_time(self) -> float:
+        """Simulated response time of all work recorded so far."""
+        return self.cost_model.response_time(self.stats.total)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush dirty pages and release backend resources (idempotent)."""
+        self.pool.flush()
+        self.backend.close()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def __enter__(self) -> StorageManager:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,87 @@
+"""Append/scan record files organized in fixed-size pages."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.storage.backend import Record
+from repro.storage.records import RecordCodec
+
+if TYPE_CHECKING:
+    from repro.storage.buffer import BufferPool
+
+
+class PagedFile:
+    """A named sequence of pages, each holding up to ``E`` records.
+
+    The level files, partition files, run files, and result files of all
+    three join algorithms are ``PagedFile`` instances; every access goes
+    through the shared buffer pool so the I/O ledger sees it.
+    """
+
+    def __init__(
+        self, name: str, codec: RecordCodec, page_size: int, pool: BufferPool
+    ) -> None:
+        self.name = name
+        self.codec = codec
+        self.page_size = page_size
+        self.pool = pool
+        self.records_per_page = codec.records_per_page(page_size)
+        self.num_pages = 0
+        self.num_records = 0
+        self._tail_count = 0  # records in the last page
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedFile({self.name!r}, pages={self.num_pages}, "
+            f"records={self.num_records})"
+        )
+
+    def append(self, record: Record) -> None:
+        """Add one record at the end of the file.
+
+        When the tail page fills, it is written behind immediately so
+        only one (partial) buffer page per open output file occupies
+        the pool.
+        """
+        if self.num_pages == 0 or self._tail_count == self.records_per_page:
+            if self.num_pages > 0:
+                self.pool.write_behind(self.name, self.num_pages - 1)
+            frame = self.pool.create(self.name, self.num_pages)
+            self.num_pages += 1
+            self._tail_count = 0
+        else:
+            frame = self.pool.fetch(self.name, self.num_pages - 1)
+        frame.records.append(record)
+        self._tail_count += 1
+        self.num_records += 1
+        self.pool.unpin(self.name, self.num_pages - 1, dirty=True)
+
+    def append_many(self, records: Iterator[Record] | list[Record]) -> None:
+        """Append an iterable of records in order."""
+        for record in records:
+            self.append(record)
+
+    def read_page(self, page_no: int) -> list[Record]:
+        """A copy of one page's records."""
+        if not 0 <= page_no < self.num_pages:
+            raise IndexError(f"page {page_no} outside [0, {self.num_pages})")
+        frame = self.pool.fetch(self.name, page_no)
+        try:
+            return list(frame.records)
+        finally:
+            self.pool.unpin(self.name, page_no)
+
+    def scan(self) -> Iterator[Record]:
+        """Yield every record in file order (page at a time)."""
+        for page_no in range(self.num_pages):
+            yield from self.read_page(page_no)
+
+    def scan_pages(self) -> Iterator[list[Record]]:
+        """Yield page record-lists in file order."""
+        for page_no in range(self.num_pages):
+            yield self.read_page(page_no)
+
+    def flush(self) -> None:
+        """Force dirty pages of this file to the backend."""
+        self.pool.flush(self.name)

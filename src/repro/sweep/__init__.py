@@ -1,0 +1,11 @@
+"""Plane sweep.
+
+"All three algorithms use the same module for plane sweep"
+(section 5).  :func:`~repro.sweep.plane_sweep.sweep_intersections` is
+that module: it reports every pair of MBR-intersecting descriptors
+between two in-memory descriptor lists.
+"""
+
+from repro.sweep.plane_sweep import sweep_intersections, sweep_self_intersections
+
+__all__ = ["sweep_intersections", "sweep_self_intersections"]

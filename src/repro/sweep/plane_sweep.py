@@ -1,0 +1,96 @@
+"""Forward plane sweep over entity-descriptor lists.
+
+The classic internal spatial-join sweep (as used inside PBSM's
+partition join): sort both lists by ``xlo``, advance a sweep line over
+the union of start events, and for each descriptor test the
+not-yet-processed descriptors of the other list whose ``xlo`` falls
+inside its x-extent.  Each intersecting pair is reported exactly once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.storage.backend import Record
+from repro.storage.iostats import IOStats
+from repro.storage.records import XHI, XLO, YHI, YLO
+
+
+def sweep_intersections(
+    left: list[Record],
+    right: list[Record],
+    stats: IOStats | None = None,
+    presorted: bool = False,
+) -> Iterator[tuple[Record, Record]]:
+    """Yield every pair ``(a, b)`` with intersecting MBRs, ``a`` from
+    ``left`` and ``b`` from ``right``.
+
+    Closed-interval semantics: boundary contact counts as intersection.
+    CPU work (sort comparisons, per-pair y-tests) is charged to
+    ``stats`` when given.  Pass ``presorted=True`` when both inputs are
+    already ordered by ``xlo``.
+    """
+    a = left if presorted else sorted(left, key=lambda r: r[XLO])
+    b = right if presorted else sorted(right, key=lambda r: r[XLO])
+    if stats is not None and not presorted:
+        stats.charge_cpu("compare", _sort_cost(len(a)) + _sort_cost(len(b)))
+
+    ai = bi = 0
+    len_a, len_b = len(a), len(b)
+    while ai < len_a and bi < len_b:
+        if a[ai][XLO] <= b[bi][XLO]:
+            yield from _scan(a[ai], b, bi, stats, flip=False)
+            ai += 1
+        else:
+            yield from _scan(b[bi], a, ai, stats, flip=True)
+            bi += 1
+
+
+def sweep_self_intersections(
+    records: list[Record],
+    stats: IOStats | None = None,
+    presorted: bool = False,
+) -> Iterator[tuple[Record, Record]]:
+    """Yield every unordered pair of distinct intersecting MBRs within
+    one list (self-join; each pair reported once, never ``(r, r)``)."""
+    items = records if presorted else sorted(records, key=lambda r: r[XLO])
+    if stats is not None and not presorted:
+        stats.charge_cpu("compare", _sort_cost(len(items)))
+    for i, current in enumerate(items):
+        x_max = current[XHI]
+        for j in range(i + 1, len(items)):
+            other = items[j]
+            if other[XLO] > x_max:
+                break
+            if stats is not None:
+                stats.charge_cpu("mbr_test")
+            if current[YLO] <= other[YHI] and other[YLO] <= current[YHI]:
+                yield current, other
+
+
+def _scan(
+    pivot: Record,
+    others: list[Record],
+    start: int,
+    stats: IOStats | None,
+    flip: bool,
+) -> Iterator[tuple[Record, Record]]:
+    """Test ``pivot`` against others[start:] while their xlo is within
+    pivot's x-extent."""
+    x_max = pivot[XHI]
+    ylo, yhi = pivot[YLO], pivot[YHI]
+    for k in range(start, len(others)):
+        other = others[k]
+        if other[XLO] > x_max:
+            break
+        if stats is not None:
+            stats.charge_cpu("mbr_test")
+        if ylo <= other[YHI] and other[YLO] <= yhi:
+            yield (other, pivot) if flip else (pivot, other)
+
+
+def _sort_cost(n: int) -> int:
+    if n < 2:
+        return 0
+    return int(n * math.log2(n))

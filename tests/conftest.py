@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.dataset import SpatialDataset
+from repro.storage.manager import StorageConfig, StorageManager
+
+
+@pytest.fixture
+def storage():
+    """A memory-backed storage manager with a small buffer pool."""
+    with StorageManager(StorageConfig(buffer_pages=32)) as manager:
+        yield manager
+
+
+@pytest.fixture
+def tiny_storage():
+    """A storage manager with a tiny pool (eviction pressure)."""
+    with StorageManager(StorageConfig(buffer_pages=4)) as manager:
+        yield manager
+
+
+def make_squares(
+    count: int, side: float, seed: int, name: str = "squares"
+) -> SpatialDataset:
+    """Uniform random squares without the numpy dependency overhead."""
+    rng = random.Random(seed)
+    entities = []
+    for eid in range(count):
+        x = rng.uniform(0.0, 1.0 - side)
+        y = rng.uniform(0.0, 1.0 - side)
+        entities.append(
+            Entity.from_geometry(eid, Rect(x, y, x + side, y + side))
+        )
+    return SpatialDataset(name, entities)
+
+
+def brute_force_pairs(
+    dataset_a: SpatialDataset, dataset_b: SpatialDataset, margin: float = 0.0
+) -> frozenset[tuple[int, int]]:
+    """Reference join: all MBR-intersecting pairs (with margin expansion)."""
+    pairs = set()
+    for ea in dataset_a:
+        box_a = ea.mbr if margin == 0.0 else ea.mbr.expanded(margin).clamped()
+        for eb in dataset_b:
+            box_b = eb.mbr if margin == 0.0 else eb.mbr.expanded(margin).clamped()
+            if box_a.intersects(box_b):
+                pairs.add((ea.eid, eb.eid))
+    return frozenset(pairs)
+
+
+def brute_force_self_pairs(
+    dataset: SpatialDataset, margin: float = 0.0
+) -> frozenset[tuple[int, int]]:
+    """Reference self join: canonical (min, max) pairs, no (e, e)."""
+    entities = list(dataset)
+    pairs = set()
+    for i, ea in enumerate(entities):
+        box_a = ea.mbr if margin == 0.0 else ea.mbr.expanded(margin).clamped()
+        for eb in entities[i + 1 :]:
+            box_b = eb.mbr if margin == 0.0 else eb.mbr.expanded(margin).clamped()
+            if box_a.intersects(box_b):
+                pairs.add((min(ea.eid, eb.eid), max(ea.eid, eb.eid)))
+    return frozenset(pairs)

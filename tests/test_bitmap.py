@@ -1,0 +1,173 @@
+"""Tests for Dynamic Spatial Bitmaps (section 3.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap import DynamicSpatialBitmap
+from repro.curves.hilbert import HilbertCurve
+from repro.filtertree.levels import LevelAssigner
+from repro.geometry.rect import Rect
+from repro.storage.iostats import IOStats
+
+CURVE = HilbertCurve(order=10)
+ASSIGNER = LevelAssigner(order=10, max_level=10)
+
+
+def project(bitmap, rect):
+    level = ASSIGNER.level(rect)
+    key = CURVE.key_of_normalized(*rect.center)
+    return rect, key, level
+
+
+def random_rects(rng, count, max_side=0.3):
+    rects = []
+    for _ in range(count):
+        x = rng.uniform(0, 1)
+        y = rng.uniform(0, 1)
+        side = rng.uniform(0, max_side)
+        rects.append(Rect(x, y, min(1, x + side), min(1, y + side)))
+    return rects
+
+
+class TestConstruction:
+    def test_sizes(self):
+        bitmap = DynamicSpatialBitmap(8, CURVE)
+        assert bitmap.num_bits == 4**8
+
+    def test_pages_matches_paper(self):
+        """Section 3.2's example: with pages of 2^12 bits, level 7 ->
+        4 pages and level 8 -> 16 pages (2^(2l - p))."""
+        page_bytes = (1 << 12) // 8
+        assert DynamicSpatialBitmap(7, HilbertCurve(order=16)).pages(page_bytes) == 4
+        assert DynamicSpatialBitmap(8, HilbertCurve(order=16)).pages(page_bytes) == 16
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            DynamicSpatialBitmap(14, CURVE)
+        with pytest.raises(ValueError):
+            DynamicSpatialBitmap(-1, CURVE)
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            DynamicSpatialBitmap(4, CURVE, mode="approximate")
+
+    def test_population_starts_empty(self):
+        assert DynamicSpatialBitmap(6, CURVE).population() == 0
+
+
+class TestSetAndProbe:
+    @pytest.mark.parametrize("mode", ["precise", "fast"])
+    def test_set_then_probe_same_entity(self, mode):
+        bitmap = DynamicSpatialBitmap(5, CURVE, mode=mode)
+        rect, key, level = project(bitmap, Rect(0.3, 0.3, 0.32, 0.32))
+        bitmap.set_entity(rect, key, level)
+        assert bitmap.admits(rect, key, level)
+
+    @pytest.mark.parametrize("mode", ["precise", "fast"])
+    def test_far_entity_filtered(self, mode):
+        bitmap = DynamicSpatialBitmap(5, CURVE, mode=mode)
+        rect, key, level = project(bitmap, Rect(0.1, 0.1, 0.12, 0.12))
+        bitmap.set_entity(rect, key, level)
+        far, far_key, far_level = project(bitmap, Rect(0.8, 0.8, 0.82, 0.82))
+        assert not bitmap.admits(far, far_key, far_level)
+        assert bitmap.filtered_count == 1
+
+    def test_entity_above_bitmap_level_sets_region(self):
+        """A level-1 entity on a level-4 bitmap covers many cells."""
+        bitmap = DynamicSpatialBitmap(4, CURVE, mode="fast")
+        rect = Rect(0.6, 0.6, 0.9, 0.9)  # inside quadrant (1,1), level 1
+        _, key, level = project(bitmap, rect)
+        assert level == 1
+        bitmap.set_entity(rect, key, level)
+        assert bitmap.population() == 4 ** (4 - 1)
+
+    def test_precise_mode_sets_fewer_bits_than_fast(self):
+        rect = Rect(0.6, 0.6, 0.65, 0.65)  # small but above level 4 cells?
+        _, key, level = project(None, rect)
+        fast = DynamicSpatialBitmap(6, CURVE, mode="fast")
+        precise = DynamicSpatialBitmap(6, CURVE, mode="precise")
+        fast.set_entity(rect, key, level)
+        precise.set_entity(rect, key, level)
+        assert precise.population() <= fast.population()
+
+    def test_counters(self):
+        bitmap = DynamicSpatialBitmap(5, CURVE)
+        rect, key, level = project(bitmap, Rect(0.2, 0.2, 0.25, 0.25))
+        bitmap.set_entity(rect, key, level)
+        bitmap.admits(rect, key, level)
+        assert bitmap.set_operations == 1
+        assert bitmap.probe_operations == 1
+
+    def test_charges_cpu(self):
+        stats = IOStats()
+        bitmap = DynamicSpatialBitmap(5, CURVE, stats=stats)
+        rect, key, level = project(bitmap, Rect(0.2, 0.2, 0.25, 0.25))
+        bitmap.set_entity(rect, key, level)
+        assert stats.total.cpu_ops.get("bitmap", 0) > 0
+
+    def test_is_set_bounds(self):
+        bitmap = DynamicSpatialBitmap(3, CURVE)
+        with pytest.raises(IndexError):
+            bitmap.is_set(4**3)
+
+
+class TestNoFalseNegatives:
+    """The core DSB safety property: if an A entity and a B entity have
+    intersecting MBRs, B must be admitted after A was set — in every
+    mode combination and at every bitmap level."""
+
+    @pytest.mark.parametrize("mode", ["precise", "fast"])
+    @pytest.mark.parametrize("bitmap_level", [2, 4, 6])
+    def test_random_workload(self, mode, bitmap_level):
+        rng = random.Random(bitmap_level * 7 + len(mode))
+        bitmap = DynamicSpatialBitmap(bitmap_level, CURVE, mode=mode)
+        set_a = random_rects(rng, 120)
+        for rect in set_a:
+            _, key, level = project(bitmap, rect)
+            bitmap.set_entity(rect, key, level)
+        for rect in random_rects(rng, 200):
+            if any(rect.intersects(other) for other in set_a):
+                _, key, level = project(bitmap, rect)
+                assert bitmap.admits(rect, key, level), rect
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_no_false_negatives(self, seed):
+        rng = random.Random(seed)
+        mode = rng.choice(["precise", "fast"])
+        bitmap = DynamicSpatialBitmap(rng.choice([3, 5]), CURVE, mode=mode)
+        set_a = random_rects(rng, 40)
+        for rect in set_a:
+            _, key, level = project(bitmap, rect)
+            bitmap.set_entity(rect, key, level)
+        probe = random_rects(rng, 40)
+        for rect in probe:
+            if any(rect.intersects(other) for other in set_a):
+                _, key, level = project(bitmap, rect)
+                assert bitmap.admits(rect, key, level)
+
+
+class TestFilteringEffectiveness:
+    def test_filters_disjoint_region(self):
+        """Entities confined to the left half must reject right-half
+        probes (the selective-join scenario of section 5.2.2)."""
+        rng = random.Random(42)
+        bitmap = DynamicSpatialBitmap(6, CURVE, mode="precise")
+        for _ in range(200):
+            x = rng.uniform(0.0, 0.4)
+            y = rng.uniform(0.0, 1.0)
+            rect = Rect(x, y, min(1, x + 0.02), min(1, y + 0.02))
+            _, key, level = project(bitmap, rect)
+            bitmap.set_entity(rect, key, level)
+        filtered = 0
+        for _ in range(200):
+            x = rng.uniform(0.6, 0.95)
+            y = rng.uniform(0.0, 0.95)
+            rect = Rect(x, y, x + 0.02, y + 0.02)
+            _, key, level = project(bitmap, rect)
+            if not bitmap.admits(rect, key, level):
+                filtered += 1
+        assert filtered > 150

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_join_defaults(self):
+        args = build_parser().parse_args(["join"])
+        assert args.algorithm == "s3j"
+        assert args.workload == "UN1-UN2"
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--algorithm", "nested"])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--workload", "XYZ"])
+
+
+class TestCommands:
+    def test_table3(self, capsys):
+        assert main(["table3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "UN1" in out and "CFD" in out
+
+    def test_join_runs(self, capsys):
+        assert main(
+            ["join", "--workload", "UN1-UN2", "--scale", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pairs" in out and "partition" in out
+
+    def test_join_pbsm_with_tiles(self, capsys):
+        assert main(
+            [
+                "join",
+                "--workload",
+                "UN1-UN2",
+                "--algorithm",
+                "pbsm",
+                "--tiles",
+                "8",
+                "--scale",
+                "0.02",
+            ]
+        ) == 0
+        assert "r_A / r_B" in capsys.readouterr().out
+
+    def test_tiles_rejected_for_s3j(self, capsys):
+        assert main(["join", "--tiles", "8", "--scale", "0.02"]) == 2
+
+    def test_table4_single_workload(self, capsys):
+        assert main(["table4", "--only", "UN1-UN2", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "UN1-UN2" in out

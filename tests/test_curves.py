@@ -1,0 +1,176 @@
+"""Tests for the space-filling curves.
+
+The properties tested here are exactly what S3J relies on:
+bijectivity, the prefix/nesting property, and (for Hilbert) unit-step
+adjacency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import GrayCurve, HilbertCurve, SpaceFillingCurve, ZOrderCurve, curve_by_name
+from repro.curves.gray import gray_decode, gray_encode
+from repro.curves.zorder import deinterleave_bits, interleave_bits
+
+ALL_CURVES = [HilbertCurve, ZOrderCurve, GrayCurve]
+
+
+@pytest.fixture(params=ALL_CURVES, ids=lambda cls: cls.name)
+def curve(request):
+    return request.param(order=5)
+
+
+class TestInterface:
+    def test_curve_by_name(self):
+        assert isinstance(curve_by_name("hilbert"), HilbertCurve)
+        assert isinstance(curve_by_name("zorder"), ZOrderCurve)
+        assert isinstance(curve_by_name("z-order"), ZOrderCurve)
+        assert isinstance(curve_by_name("Gray"), GrayCurve)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            curve_by_name("peano")
+
+    def test_order_bounds(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(order=0)
+        with pytest.raises(ValueError):
+            HilbertCurve(order=32)
+
+    def test_out_of_grid_raises(self, curve):
+        with pytest.raises(ValueError):
+            curve.key(curve.side, 0)
+        with pytest.raises(ValueError):
+            curve.point(curve.max_key + 1)
+
+    def test_quantize(self):
+        c = HilbertCurve(order=4)
+        assert c.quantize(0.0) == 0
+        assert c.quantize(1.0) == 15  # clamped to the grid
+        assert c.quantize(0.5) == 8
+        with pytest.raises(ValueError):
+            c.quantize(1.5)
+
+
+class TestBijection:
+    def test_full_bijection_small_order(self, curve):
+        keys = {
+            curve.key(x, y) for x in range(curve.side) for y in range(curve.side)
+        }
+        assert keys == set(range(curve.side * curve.side))
+
+    def test_roundtrip_all_cells(self, curve):
+        for x in range(curve.side):
+            for y in range(curve.side):
+                assert curve.point(curve.key(x, y)) == (x, y)
+
+
+class TestPrefixProperty:
+    def test_cells_are_contiguous_ranges(self, curve):
+        """Every level-l cell must map to one contiguous key range."""
+        order = curve.order
+        for level in range(order + 1):
+            shift = order - level
+            seen: dict[tuple[int, int], list[int]] = {}
+            for x in range(curve.side):
+                for y in range(curve.side):
+                    seen.setdefault((x >> shift, y >> shift), []).append(
+                        curve.key(x, y)
+                    )
+            cell_size = 1 << (2 * shift)
+            for keys in seen.values():
+                keys.sort()
+                assert keys[-1] - keys[0] == cell_size - 1
+                assert keys[0] % cell_size == 0
+
+    def test_cell_key_range(self, curve):
+        lo, hi = curve.cell_key_range(3, 4, 2)
+        assert hi - lo == 1 << (2 * (curve.order - 2))
+        key = curve.key(3, 4)
+        assert lo <= key < hi
+
+    def test_cell_key_range_level_bounds(self, curve):
+        with pytest.raises(ValueError):
+            curve.cell_key_range(0, 0, curve.order + 1)
+
+
+class TestHilbertSpecifics:
+    def test_order1_canonical_shape(self):
+        c = HilbertCurve(order=1)
+        assert [c.point(k) for k in range(4)] == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_adjacency(self):
+        """Consecutive Hilbert keys are 4-neighbour grid cells."""
+        c = HilbertCurve(order=6)
+        px, py = c.point(0)
+        for key in range(1, c.side * c.side):
+            x, y = c.point(key)
+            assert abs(x - px) + abs(y - py) == 1, f"jump at key {key}"
+            px, py = x, y
+
+    def test_cross_order_prefix_consistency(self):
+        """The level-l key of a cell equals the full-precision key of an
+        interior point truncated to 2l bits (used by DSB)."""
+        fine = HilbertCurve(order=8)
+        coarse = HilbertCurve(order=3)
+        shift = 2 * (8 - 3)
+        for x in range(0, fine.side, 7):
+            for y in range(0, fine.side, 7):
+                assert fine.key(x, y) >> shift == coarse.key(x >> 5, y >> 5)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=200)
+    def test_scalar_roundtrip_full_precision(self, x, y):
+        c = HilbertCurve(order=16)
+        assert c.point(c.key(x, y)) == (x, y)
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("cls", ALL_CURVES, ids=lambda c: c.name)
+    def test_keys_matches_scalar(self, cls):
+        curve = cls(order=16)
+        rng = np.random.default_rng(7)
+        xs = rng.integers(0, curve.side, size=300)
+        ys = rng.integers(0, curve.side, size=300)
+        batch = curve.keys(xs, ys)
+        for x, y, key in zip(xs, ys, batch):
+            assert curve.key(int(x), int(y)) == int(key)
+
+    def test_keys_shape_mismatch_raises(self):
+        c = HilbertCurve(order=4)
+        with pytest.raises(ValueError):
+            c.keys(np.array([1, 2]), np.array([1]))
+
+
+class TestBitHelpers:
+    @given(st.integers(0, 2**20 - 1))
+    def test_gray_roundtrip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_gray_adjacent_codes_differ_one_bit(self, value):
+        diff = gray_encode(value) ^ gray_encode(value + 1)
+        assert diff.bit_count() == 1
+
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1))
+    def test_interleave_roundtrip(self, x, y):
+        assert deinterleave_bits(interleave_bits(x, y, 12), 12) == (x, y)
+
+    def test_interleave_bit_positions(self):
+        # x supplies the high bit of each 2-bit digit.
+        assert interleave_bits(1, 0, 1) == 2
+        assert interleave_bits(0, 1, 1) == 1
+
+
+class TestKeyOfNormalized:
+    def test_center_key_matches_quantized(self, curve):
+        x, y = 0.3, 0.7
+        expected = curve.key(curve.quantize(x), curve.quantize(y))
+        assert curve.key_of_normalized(x, y) == expected
+
+    def test_subclass_contract(self):
+        assert issubclass(HilbertCurve, SpaceFillingCurve)
+        assert issubclass(ZOrderCurve, SpaceFillingCurve)
+        assert issubclass(GrayCurve, SpaceFillingCurve)

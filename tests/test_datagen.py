@@ -1,0 +1,216 @@
+"""Tests for the workload generators (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.cfd import cfd_points
+from repro.datagen.paper import (
+    PAPER_COVERAGE,
+    PAPER_SIZES,
+    paper_datasets,
+    scaled_count,
+    table3_rows,
+)
+from repro.datagen.shift import shifted_copy
+from repro.datagen.tiger import road_segments
+from repro.datagen.triangular import triangular_squares
+from repro.datagen.uniform import uniform_squares, uniform_squares_by_coverage
+from repro.geometry.rect import UNIT_SQUARE
+from repro.geometry.shapes import Point, Segment
+
+
+def inside_unit_square(dataset):
+    return all(UNIT_SQUARE.contains(e.mbr) for e in dataset)
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        ds = uniform_squares(500, 0.05, seed=1)
+        assert len(ds) == 500
+        assert inside_unit_square(ds)
+
+    def test_all_same_side(self):
+        ds = uniform_squares(100, 0.03, seed=2)
+        assert all(e.mbr.width == pytest.approx(0.03) for e in ds)
+
+    def test_coverage_targeting(self):
+        ds = uniform_squares_by_coverage(2000, 0.9, seed=3)
+        assert ds.coverage() == pytest.approx(0.9, rel=0.05)
+
+    def test_deterministic(self):
+        a = uniform_squares(50, 0.05, seed=7)
+        b = uniform_squares(50, 0.05, seed=7)
+        assert [e.mbr for e in a] == [e.mbr for e in b]
+
+    def test_different_seeds_differ(self):
+        a = uniform_squares(50, 0.05, seed=7)
+        b = uniform_squares(50, 0.05, seed=8)
+        assert [e.mbr for e in a] != [e.mbr for e in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_squares(10, 0.0)
+        with pytest.raises(ValueError):
+            uniform_squares(-1, 0.1)
+        with pytest.raises(ValueError):
+            uniform_squares_by_coverage(10, 20.0)  # side would exceed 1
+
+    def test_eids_sequential(self):
+        ds = uniform_squares(20, 0.1, seed=9)
+        assert [e.eid for e in ds] == list(range(20))
+
+
+class TestTriangular:
+    def test_count_and_bounds(self):
+        ds = triangular_squares(400, seed=1)
+        assert len(ds) == 400
+        assert inside_unit_square(ds)
+
+    def test_size_range(self):
+        ds = triangular_squares(500, 4.0, 18.0, 19.0, seed=2)
+        sides = [e.mbr.width for e in ds]
+        assert max(sides) <= 2.0 ** -4.0 + 1e-12
+        assert min(sides) >= 2.0 ** -19.0 - 1e-12
+
+    def test_high_size_variability(self):
+        ds = triangular_squares(2000, seed=3)
+        sides = np.array([e.mbr.width for e in ds])
+        assert sides.max() / sides.min() > 1000
+
+    def test_target_coverage(self):
+        ds = triangular_squares(2000, seed=4, target_coverage=13.96)
+        assert ds.coverage() == pytest.approx(13.96, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            triangular_squares(10, 5.0, 4.0, 6.0)  # mode below min
+        with pytest.raises(ValueError):
+            triangular_squares(10, target_coverage=-1.0)
+
+
+class TestTiger:
+    def test_count_and_geometry(self):
+        ds = road_segments(800, seed=1)
+        assert len(ds) == 800
+        assert all(isinstance(e.geometry, Segment) for e in ds)
+        assert inside_unit_square(ds)
+
+    def test_segments_are_short(self):
+        ds = road_segments(500, segment_length=0.004, seed=2)
+        assert all(e.geometry.length <= 0.004 + 1e-9 for e in ds)
+
+    def test_clustering(self):
+        """Road data is clustered: the busiest decile of a 10x10 grid
+        holds far more than 10% of the segments."""
+        ds = road_segments(2000, towns=5, seed=3)
+        counts = np.zeros((10, 10))
+        for e in ds:
+            cx, cy = e.mbr.center
+            counts[min(int(cx * 10), 9), min(int(cy * 10), 9)] += 1
+        top_decile = np.sort(counts.ravel())[-10:].sum()
+        assert top_decile / len(ds) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            road_segments(10, towns=0)
+        with pytest.raises(ValueError):
+            road_segments(10, segment_length=0.6)
+
+
+class TestCFD:
+    def test_count_and_geometry(self):
+        ds = cfd_points(3000, seed=1)
+        assert len(ds) == 3000
+        assert all(isinstance(e.geometry, Point) for e in ds)
+        assert inside_unit_square(ds)
+
+    def test_extreme_skew(self):
+        """Most points concentrate near the airfoil at mid-space."""
+        ds = cfd_points(5000, seed=2)
+        near = sum(
+            1
+            for e in ds
+            if 0.35 < e.mbr.center[0] < 0.65 and 0.4 < e.mbr.center[1] < 0.6
+        )
+        assert near / len(ds) > 0.8
+
+    def test_far_field_exists(self):
+        ds = cfd_points(5000, far_fraction=0.1, seed=3)
+        far = sum(1 for e in ds if e.mbr.center[0] < 0.2 or e.mbr.center[0] > 0.8)
+        assert far > 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cfd_points(10, wall_offset=0.5, far_field=0.4)
+        with pytest.raises(ValueError):
+            cfd_points(10, far_fraction=1.5)
+
+
+class TestShiftedCopy:
+    def test_center_becomes_lower_left(self):
+        """Section 5.2.1's definition of the primed data sets."""
+        ds = uniform_squares(100, 0.04, seed=1)
+        shifted = shifted_copy(ds)
+        for original, moved in zip(ds, shifted):
+            has_room = (
+                original.mbr.xhi + original.mbr.width / 2 <= 1.0
+                and original.mbr.yhi + original.mbr.height / 2 <= 1.0
+            )
+            if has_room:
+                cx, cy = original.mbr.center
+                assert moved.mbr.xlo == pytest.approx(cx)
+                assert moved.mbr.ylo == pytest.approx(cy)
+            assert moved.mbr.width == pytest.approx(original.mbr.width)
+
+    def test_stays_in_unit_square(self):
+        ds = uniform_squares(200, 0.1, seed=2)
+        assert inside_unit_square(shifted_copy(ds))
+
+    def test_geometry_shifted_too(self):
+        ds = road_segments(50, seed=3)
+        shifted = shifted_copy(ds)
+        for original, moved in zip(ds, shifted):
+            assert isinstance(moved.geometry, Segment)
+            assert moved.geometry.length == pytest.approx(
+                original.geometry.length, abs=1e-9
+            )
+
+    def test_name(self):
+        ds = uniform_squares(10, 0.1, seed=4, name="LB")
+        assert shifted_copy(ds).name == "LB'"
+
+
+class TestPaperCatalog:
+    def test_all_seven_datasets(self):
+        datasets = paper_datasets(scale=0.02)
+        assert set(datasets) == set(PAPER_SIZES)
+
+    def test_scaled_counts(self):
+        assert scaled_count("UN1", 0.1) == 10_000
+        assert scaled_count("LB", 1.0) == 53_145
+        assert scaled_count("UN1", 0.00001) == 100  # floor
+
+    def test_coverage_matches_table3(self):
+        """Coverage is scale-invariant and matches Table 3."""
+        datasets = paper_datasets(scale=0.05)
+        for name in ("UN1", "UN2", "UN3", "TR"):
+            assert datasets[name].coverage() == pytest.approx(
+                PAPER_COVERAGE[name], rel=0.1
+            ), name
+        for name in ("LB", "MG"):
+            assert datasets[name].coverage() == pytest.approx(
+                PAPER_COVERAGE[name], rel=0.25
+            ), name
+
+    def test_subset_generation(self):
+        datasets = paper_datasets(scale=0.02, only=("TR",))
+        assert set(datasets) == {"TR"}
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_datasets(scale=0.0)
+
+    def test_table3_rows_structure(self):
+        rows = table3_rows(scale=0.02)
+        assert len(rows) == 7
+        assert all({"name", "size", "coverage"} <= set(r) for r in rows)

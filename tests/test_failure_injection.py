@@ -1,0 +1,110 @@
+"""Failure injection: the storage stack must fail loudly and stay
+consistent when the backend misbehaves or inputs are malformed."""
+
+import pytest
+
+from repro.storage.backend import MemoryBackend
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.manager import StorageConfig, StorageManager
+from repro.storage.pagedfile import PagedFile
+from repro.storage.records import EntityDescriptorCodec
+
+
+class FlakyBackend(MemoryBackend):
+    """Fails every write after the first ``fail_after`` of them."""
+
+    def __init__(self, fail_after: int) -> None:
+        super().__init__()
+        self.fail_after = fail_after
+        self.writes = 0
+
+    def write_page(self, name, page_no, records):
+        self.writes += 1
+        if self.writes > self.fail_after:
+            raise IOError(f"injected write failure at write #{self.writes}")
+        super().write_page(name, page_no, records)
+
+
+class TestBackendFailures:
+    def make(self, fail_after):
+        backend = FlakyBackend(fail_after)
+        backend.create_file("f", EntityDescriptorCodec(), 4096)
+        stats = IOStats()
+        pool = BufferPool(backend, 2, stats)
+        handle = PagedFile("f", EntityDescriptorCodec(), 4096, pool)
+        return backend, pool, handle
+
+    def test_write_failure_propagates_from_eviction(self):
+        backend, pool, handle = self.make(fail_after=0)
+        with pytest.raises(IOError, match="injected"):
+            # Fill pages until an eviction forces the failing write.
+            for i in range(400):
+                handle.append((i, 0.0, 0.0, 0.0, 0.0, 0))
+
+    def test_write_failure_propagates_from_flush(self):
+        backend, pool, handle = self.make(fail_after=0)
+        handle.append((1, 0.0, 0.0, 0.0, 0.0, 0))
+        with pytest.raises(IOError, match="injected"):
+            pool.flush()
+
+    def test_reads_keep_working_after_failed_flush(self):
+        backend, pool, handle = self.make(fail_after=1)
+        handle.append((1, 0.0, 0.0, 0.0, 0.0, 0))
+        pool.flush()  # first write succeeds
+        assert list(handle.scan()) == [(1, 0.0, 0.0, 0.0, 0.0, 0)]
+
+    def test_missing_page_read_is_loud(self):
+        backend = MemoryBackend()
+        backend.create_file("f", EntityDescriptorCodec(), 4096)
+        pool = BufferPool(backend, 2, IOStats())
+        with pytest.raises(ValueError, match="never written"):
+            pool.fetch("f", 7)
+
+
+class TestMalformedInput:
+    def test_bad_record_rejected_by_codec(self):
+        codec = EntityDescriptorCodec()
+        with pytest.raises(Exception):
+            codec.encode(("not-an-int", 0.0, 0.0, 0.0, 0.0, 0))
+
+    def test_coordinates_outside_unit_square_rejected(self, storage):
+        from repro.core.s3j import SizeSeparationSpatialJoin
+
+        handle = storage.create_file("bad")
+        handle.append((1, -0.5, 0.0, 0.5, 0.5, 0))  # xlo < 0
+        other = storage.create_file("ok")
+        other.append((2, 0.1, 0.1, 0.2, 0.2, 0))
+        algo = SizeSeparationSpatialJoin(storage)
+        with pytest.raises(ValueError):
+            algo.join(handle, other)
+
+    def test_nan_coordinates_rejected(self):
+        from repro.geometry.rect import Rect
+
+        nan = float("nan")
+        # NaN violates xlo <= xhi in every comparison direction.
+        rect = Rect(nan, 0.0, nan, 1.0)  # constructor can't catch NaN order
+        from repro.filtertree.levels import LevelAssigner
+
+        with pytest.raises(ValueError):
+            LevelAssigner().level(rect)
+
+
+class TestResourceLifecycle:
+    def test_manager_close_idempotent(self):
+        manager = StorageManager(StorageConfig(buffer_pages=4))
+        manager.create_file("x").append((1, 0.0, 0.0, 0.0, 0.0, 0))
+        manager.close()
+        manager.close()  # second close must not raise
+
+    def test_context_manager_flushes(self, tmp_path):
+        config = StorageConfig(
+            backend="disk", directory=str(tmp_path), buffer_pages=4
+        )
+        with StorageManager(config) as manager:
+            manager.create_file("x").append((1, 0.0, 0.0, 0.0, 0.0, 0))
+        # The page reached the file even though it was never explicitly
+        # flushed.
+        files = list(tmp_path.glob("*.pages"))
+        assert files and files[0].stat().st_size > 0

@@ -1,0 +1,95 @@
+"""Tests for repro.geometry.predicates (the refinement step)."""
+
+import pytest
+
+from repro.geometry.entity import Entity
+from repro.geometry.predicates import (
+    geometries_intersect,
+    geometries_within_distance,
+    refine_pair,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.shapes import Point, Polygon, Segment
+
+
+class TestIntersect:
+    def test_point_point_same(self):
+        assert geometries_intersect(Point(0.5, 0.5), Point(0.5, 0.5))
+
+    def test_point_point_different(self):
+        assert not geometries_intersect(Point(0.5, 0.5), Point(0.6, 0.5))
+
+    def test_point_on_segment(self):
+        assert geometries_intersect(Point(0.5, 0.5), Segment(0, 0, 1, 1))
+
+    def test_point_off_segment(self):
+        assert not geometries_intersect(Point(0.5, 0.6), Segment(0, 0, 1, 1))
+
+    def test_segment_segment(self):
+        assert geometries_intersect(Segment(0, 0, 1, 1), Segment(0, 1, 1, 0))
+
+    def test_point_in_polygon(self):
+        poly = Polygon(((0, 0), (1, 0), (1, 1), (0, 1)))
+        assert geometries_intersect(poly, Point(0.5, 0.5))
+        assert geometries_intersect(Point(0.5, 0.5), poly)
+
+    def test_segment_inside_polygon(self):
+        poly = Polygon(((0, 0), (1, 0), (1, 1), (0, 1)))
+        inner = Segment(0.2, 0.2, 0.4, 0.4)
+        assert geometries_intersect(poly, inner)
+
+    def test_rect_rect(self):
+        assert geometries_intersect(Rect(0, 0, 0.5, 0.5), Rect(0.4, 0.4, 1, 1))
+        assert not geometries_intersect(Rect(0, 0, 0.3, 0.3), Rect(0.4, 0.4, 1, 1))
+
+    def test_rect_point(self):
+        assert geometries_intersect(Rect(0, 0, 0.5, 0.5), Point(0.25, 0.25))
+        assert not geometries_intersect(Rect(0, 0, 0.5, 0.5), Point(0.75, 0.25))
+
+    def test_rect_segment(self):
+        assert geometries_intersect(Rect(0, 0, 0.5, 0.5), Segment(0.4, 0.4, 0.9, 0.9))
+        assert not geometries_intersect(
+            Rect(0, 0, 0.2, 0.2), Segment(0.8, 0.0, 0.8, 1.0)
+        )
+
+
+class TestWithinDistance:
+    def test_points_within(self):
+        assert geometries_within_distance(Point(0, 0), Point(0.3, 0.4), 0.5)
+
+    def test_points_just_beyond(self):
+        assert not geometries_within_distance(Point(0, 0), Point(0.3, 0.4), 0.49)
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ValueError):
+            geometries_within_distance(Point(0, 0), Point(1, 1), -0.1)
+
+    def test_segment_within(self):
+        assert geometries_within_distance(
+            Segment(0, 0, 1, 0), Segment(0, 0.1, 1, 0.1), 0.1
+        )
+
+    def test_polygon_point_within(self):
+        poly = Polygon(((0, 0), (1, 0), (1, 1), (0, 1)))
+        assert geometries_within_distance(poly, Point(1.05, 0.5), 0.1)
+        assert not geometries_within_distance(poly, Point(1.2, 0.5), 0.1)
+
+
+class TestRefinePair:
+    def test_exact_geometry_beats_mbr(self):
+        # Two diagonal segments whose MBRs overlap but which do not cross.
+        a = Entity.from_geometry(1, Segment(0.0, 0.0, 0.4, 0.4))
+        b = Entity.from_geometry(2, Segment(0.3, 0.0, 0.4, 0.05))
+        assert a.mbr.intersects(b.mbr)
+        assert not refine_pair(a, b)
+
+    def test_mbr_fallback_when_no_geometry(self):
+        a = Entity(1, Rect(0, 0, 0.5, 0.5))
+        b = Entity(2, Rect(0.4, 0.4, 1, 1))
+        assert refine_pair(a, b)
+
+    def test_distance_refinement(self):
+        a = Entity.from_geometry(1, Point(0.0, 0.0))
+        b = Entity.from_geometry(2, Point(0.0, 0.2))
+        assert refine_pair(a, b, eps=0.2)
+        assert not refine_pair(a, b, eps=0.19)

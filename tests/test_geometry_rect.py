@@ -1,0 +1,144 @@
+"""Tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rect import UNIT_SQUARE, Rect
+
+coords = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+
+
+def rects():
+    return st.builds(
+        lambda x1, y1, x2, y2: Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2)),
+        coords,
+        coords,
+        coords,
+        coords,
+    )
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        r = Rect(0.1, 0.2, 0.3, 0.5)
+        assert r.width == pytest.approx(0.2)
+        assert r.height == pytest.approx(0.3)
+        assert r.area == pytest.approx(0.06)
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0.5, 0.0, 0.4, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 0.5, 1.0, 0.4)
+
+    def test_degenerate_point_allowed(self):
+        r = Rect.point(0.3, 0.7)
+        assert r.area == 0.0
+        assert r.center == (0.3, 0.7)
+
+    def test_from_center(self):
+        r = Rect.from_center(0.5, 0.5, 0.2, 0.4)
+        assert r.as_tuple() == pytest.approx((0.4, 0.3, 0.6, 0.7))
+
+    def test_from_center_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(0.5, 0.5, -0.1, 0.1)
+
+
+class TestPredicates:
+    def test_overlapping(self):
+        assert Rect(0, 0, 0.5, 0.5).intersects(Rect(0.4, 0.4, 1, 1))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 0.3, 0.3).intersects(Rect(0.4, 0.4, 1, 1))
+
+    def test_touching_edges_count(self):
+        assert Rect(0, 0, 0.5, 1).intersects(Rect(0.5, 0, 1, 1))
+
+    def test_touching_corner_counts(self):
+        assert Rect(0, 0, 0.5, 0.5).intersects(Rect(0.5, 0.5, 1, 1))
+
+    def test_contains(self):
+        assert UNIT_SQUARE.contains(Rect(0.1, 0.1, 0.9, 0.9))
+        assert not Rect(0.1, 0.1, 0.9, 0.9).contains(UNIT_SQUARE)
+
+    def test_contains_self(self):
+        r = Rect(0.1, 0.1, 0.9, 0.9)
+        assert r.contains(r)
+
+    def test_contains_point(self):
+        r = Rect(0.2, 0.2, 0.8, 0.8)
+        assert r.contains_point(0.2, 0.8)
+        assert not r.contains_point(0.1, 0.5)
+
+
+class TestOperations:
+    def test_intersection_overlap(self):
+        inter = Rect(0, 0, 0.6, 0.6).intersection(Rect(0.4, 0.4, 1, 1))
+        assert inter == Rect(0.4, 0.4, 0.6, 0.6)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 0.2, 0.2).intersection(Rect(0.5, 0.5, 1, 1)) is None
+
+    def test_union(self):
+        u = Rect(0, 0, 0.2, 0.2).union(Rect(0.5, 0.5, 1, 1))
+        assert u == UNIT_SQUARE
+
+    def test_expanded(self):
+        r = Rect(0.4, 0.4, 0.6, 0.6).expanded(0.1)
+        assert r.as_tuple() == pytest.approx((0.3, 0.3, 0.7, 0.7))
+
+    def test_expanded_negative_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).expanded(-0.1)
+
+    def test_clamped(self):
+        r = Rect(-0.5, 0.5, 1.5, 2.0).clamped()
+        assert r == Rect(0.0, 0.5, 1.0, 1.0)
+
+    def test_min_distance_zero_when_overlapping(self):
+        assert Rect(0, 0, 0.5, 0.5).min_distance(Rect(0.4, 0.4, 1, 1)) == 0.0
+
+    def test_min_distance_axis(self):
+        assert Rect(0, 0, 0.2, 1).min_distance(Rect(0.5, 0, 1, 1)) == pytest.approx(0.3)
+
+    def test_min_distance_diagonal(self):
+        d = Rect(0, 0, 0.1, 0.1).min_distance(Rect(0.4, 0.5, 1, 1))
+        assert d == pytest.approx(math.hypot(0.3, 0.4))
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_intersection_consistent_with_intersects(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(rects(), rects())
+    def test_min_distance_symmetric(self, a, b):
+        assert a.min_distance(b) == pytest.approx(b.min_distance(a))
+
+    @given(rects(), rects())
+    def test_distance_zero_iff_intersects(self, a, b):
+        if a.intersects(b):
+            assert a.min_distance(b) == 0.0
+        else:
+            assert a.min_distance(b) > 0.0
+
+    @given(rects(), st.floats(0.0, 0.3))
+    def test_expansion_monotone(self, r, margin):
+        grown = r.expanded(margin)
+        assert grown.contains(r)

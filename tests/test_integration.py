@@ -1,0 +1,154 @@
+"""Cross-algorithm integration tests.
+
+The strongest correctness statement in the repository: on any input,
+all three algorithms (and every configuration of them) produce exactly
+the same candidate-pair set, which equals the brute-force reference.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.cfd import cfd_points
+from repro.datagen.tiger import road_segments
+from repro.datagen.triangular import triangular_squares
+from repro.datagen.uniform import uniform_squares
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.api import spatial_join
+from repro.join.dataset import SpatialDataset
+from repro.join.predicates import WithinDistance
+from repro.storage.manager import StorageConfig
+
+from tests.conftest import brute_force_pairs, brute_force_self_pairs
+
+ALGORITHMS = ("s3j", "pbsm", "shj")
+
+
+def join_all(a, b, **kwargs):
+    return {
+        algo: spatial_join(a, b, algorithm=algo, **kwargs) for algo in ALGORITHMS
+    }
+
+
+class TestAgreementAcrossWorkloadShapes:
+    def test_uniform_vs_uniform(self):
+        a = uniform_squares(400, 0.02, seed=1, name="A")
+        b = uniform_squares(400, 0.04, seed=2, name="B")
+        expected = brute_force_pairs(a, b)
+        for algo, result in join_all(a, b).items():
+            assert result.pairs == expected, algo
+
+    def test_mixed_sizes_triangular(self):
+        tr = triangular_squares(350, 2.0, 8.0, 10.0, seed=3)
+        expected = brute_force_self_pairs(tr)
+        for algo, result in join_all(tr, tr).items():
+            assert result.pairs == expected, algo
+
+    def test_segments_vs_segments(self):
+        lb = road_segments(400, seed=4, name="LB")
+        mg = road_segments(300, seed=5, name="MG")
+        expected = brute_force_pairs(lb, mg)
+        for algo, result in join_all(lb, mg).items():
+            assert result.pairs == expected, algo
+
+    def test_clustered_points_distance_join(self):
+        cfd = cfd_points(500, seed=6)
+        eps = 0.01
+        expected_candidates = brute_force_self_pairs(cfd, margin=eps / 2)
+        for algo, result in join_all(
+            cfd, cfd, predicate=WithinDistance(eps)
+        ).items():
+            assert result.pairs == expected_candidates, algo
+
+    def test_skewed_vs_uniform(self):
+        skew = cfd_points(400, seed=7)
+        uniform = uniform_squares(300, 0.03, seed=8, name="U")
+        expected = brute_force_pairs(skew, uniform)
+        for algo, result in join_all(skew, uniform).items():
+            assert result.pairs == expected, algo
+
+    def test_tiny_memory_budget(self):
+        """Agreement must survive heavy memory pressure (repartitioning
+        in PBSM, blockwise joins in SHJ, multi-pass sorts in S3J)."""
+        a = uniform_squares(600, 0.03, seed=9, name="A")
+        b = uniform_squares(600, 0.03, seed=10, name="B")
+        expected = brute_force_pairs(a, b)
+        for algo, result in join_all(
+            a, b, storage=StorageConfig(buffer_pages=16)
+        ).items():
+            assert result.pairs == expected, algo
+
+
+class TestRefinementConsistency:
+    def test_refined_subset_of_candidates(self):
+        lb = road_segments(250, seed=11)
+        for algo in ALGORITHMS:
+            result = spatial_join(lb, lb, algorithm=algo, refine=True)
+            assert result.refined is not None
+            assert result.refined <= result.pairs
+
+    def test_refined_identical_across_algorithms(self):
+        lb = road_segments(250, seed=12)
+        refined = {
+            algo: spatial_join(lb, lb, algorithm=algo, refine=True).refined
+            for algo in ALGORITHMS
+        }
+        values = list(refined.values())
+        assert values[0] == values[1] == values[2]
+
+
+class TestPropertyBasedAgreement:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_mixed_workload(self, seed):
+        rng = random.Random(seed)
+        entities_a = []
+        for i in range(rng.randrange(5, 120)):
+            x = rng.uniform(0, 1)
+            y = rng.uniform(0, 1)
+            w = rng.uniform(0, 0.5) * rng.random() ** 2
+            h = rng.uniform(0, 0.5) * rng.random() ** 2
+            entities_a.append(
+                Entity.from_geometry(
+                    i, Rect(x, y, min(1, x + w), min(1, y + h))
+                )
+            )
+        entities_b = []
+        for i in range(rng.randrange(5, 120)):
+            x = rng.uniform(0, 1)
+            y = rng.uniform(0, 1)
+            entities_b.append(Entity.from_geometry(i, Rect.point(x, y)))
+        a = SpatialDataset("A", entities_a)
+        b = SpatialDataset("B", entities_b)
+        expected = brute_force_pairs(a, b)
+        for algo, result in join_all(a, b).items():
+            assert result.pairs == expected, (algo, seed)
+
+
+class TestMetricsSanity:
+    def test_phase_times_sum_to_response_time(self):
+        a = uniform_squares(300, 0.03, seed=13, name="A")
+        b = uniform_squares(300, 0.03, seed=14, name="B")
+        for algo, result in join_all(a, b).items():
+            metrics = result.metrics
+            assert metrics.response_time == pytest.approx(
+                sum(metrics.breakdown().values())
+            ), algo
+
+    def test_s3j_never_replicates_baselines_may(self):
+        big = triangular_squares(300, 1.5, 6.0, 8.0, seed=15)
+        results = join_all(big, big)
+        assert results["s3j"].metrics.replication_total == 2.0
+        assert results["pbsm"].metrics.replication_total >= 2.0
+        assert results["shj"].metrics.replication_b >= 1.0
+
+    def test_io_counts_positive(self):
+        a = uniform_squares(200, 0.03, seed=16, name="A")
+        b = uniform_squares(200, 0.03, seed=17, name="B")
+        for algo, result in join_all(a, b).items():
+            assert result.metrics.total_ios > 0, algo
+            assert result.metrics.total_reads > 0, algo
+            assert result.metrics.total_writes > 0, algo

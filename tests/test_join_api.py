@@ -1,0 +1,231 @@
+"""Tests for the top-level join API, predicates, datasets, metrics,
+and results."""
+
+import pytest
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.geometry.shapes import Point, Segment
+from repro.join.api import (
+    available_algorithms,
+    default_storage_config,
+    make_algorithm,
+    spatial_join,
+)
+from repro.join.dataset import SpatialDataset
+from repro.join.metrics import JoinMetrics
+from repro.join.predicates import Intersects, WithinDistance
+from repro.join.result import canonical_pairs
+from repro.storage.costs import CostModel
+from repro.storage.iostats import PhaseStats
+from repro.storage.manager import StorageConfig, StorageManager
+
+from tests.conftest import brute_force_pairs, make_squares
+
+
+class TestPredicates:
+    def test_intersects_margin_zero(self):
+        assert Intersects().mbr_margin == 0.0
+
+    def test_within_distance_margin(self):
+        assert WithinDistance(0.2).mbr_margin == 0.1
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ValueError):
+            WithinDistance(-1.0)
+
+    def test_refine_dispatch(self):
+        a = Entity.from_geometry(1, Point(0.1, 0.1))
+        b = Entity.from_geometry(2, Point(0.1, 0.25))
+        assert WithinDistance(0.2).refine(a, b)
+        assert not Intersects().refine(a, b)
+
+
+class TestDataset:
+    def test_len_and_iter(self):
+        ds = make_squares(10, 0.1, seed=1)
+        assert len(ds) == 10
+        assert len(list(ds)) == 10
+
+    def test_mbr_and_coverage(self):
+        ds = SpatialDataset(
+            "two",
+            [
+                Entity.from_geometry(0, Rect(0.0, 0.0, 0.5, 0.5)),
+                Entity.from_geometry(1, Rect(0.5, 0.5, 1.0, 1.0)),
+            ],
+        )
+        assert ds.mbr() == Rect(0.0, 0.0, 1.0, 1.0)
+        assert ds.coverage() == pytest.approx(0.5)
+
+    def test_empty_dataset_mbr_raises(self):
+        with pytest.raises(ValueError):
+            SpatialDataset("empty", []).mbr()
+
+    def test_size_pages(self, storage):
+        ds = make_squares(100, 0.1, seed=2)
+        assert ds.size_pages(storage) == 2  # 85 per page
+
+    def test_entity_by_id(self):
+        ds = make_squares(5, 0.1, seed=3)
+        lookup = ds.entity_by_id()
+        assert set(lookup) == {0, 1, 2, 3, 4}
+
+    def test_write_descriptors_margin_expands(self, storage):
+        ds = SpatialDataset(
+            "one", [Entity.from_geometry(0, Rect(0.4, 0.4, 0.5, 0.5))]
+        )
+        handle = ds.write_descriptors(storage, "f", margin=0.1)
+        record = next(handle.scan())
+        assert record[1] == pytest.approx(0.3)
+        assert record[4] == pytest.approx(0.6)
+
+    def test_write_descriptors_clips_to_unit_square(self, storage):
+        ds = SpatialDataset(
+            "edge", [Entity.from_geometry(0, Rect(0.0, 0.0, 0.05, 0.05))]
+        )
+        handle = ds.write_descriptors(storage, "f", margin=0.2)
+        record = next(handle.scan())
+        assert record[1] == 0.0 and record[2] == 0.0
+
+
+class TestCanonicalPairs:
+    def test_plain_join_passthrough(self):
+        pairs = {(1, 2), (2, 1)}
+        assert canonical_pairs(pairs, self_join=False) == frozenset(pairs)
+
+    def test_self_join_normalizes(self):
+        pairs = {(1, 2), (2, 1), (3, 3)}
+        assert canonical_pairs(pairs, self_join=True) == frozenset({(1, 2)})
+
+
+class TestSpatialJoinAPI:
+    def test_algorithms_listed(self):
+        assert available_algorithms() == ("pbsm", "s3j", "shj")
+
+    def test_unknown_algorithm_raises(self):
+        a = make_squares(10, 0.1, seed=4)
+        with pytest.raises(ValueError):
+            spatial_join(a, a, algorithm="nested-loops")
+
+    def test_make_algorithm_unknown_raises(self, storage):
+        with pytest.raises(ValueError):
+            make_algorithm("quadtree", storage)
+
+    @pytest.mark.parametrize("algorithm", ["s3j", "pbsm", "shj"])
+    def test_all_algorithms_agree(self, algorithm):
+        a = make_squares(150, 0.04, seed=5, name="A")
+        b = make_squares(150, 0.04, seed=6, name="B")
+        result = spatial_join(a, b, algorithm=algorithm)
+        assert result.pairs == brute_force_pairs(a, b)
+
+    def test_distance_predicate_filter_superset(self):
+        a = make_squares(100, 0.02, seed=7, name="A")
+        b = make_squares(100, 0.02, seed=8, name="B")
+        eps = 0.03
+        result = spatial_join(a, b, predicate=WithinDistance(eps))
+        assert result.pairs == brute_force_pairs(a, b, margin=eps / 2)
+
+    def test_refinement_exact_distance(self):
+        a = SpatialDataset("a", [Entity.from_geometry(0, Point(0.30, 0.30))])
+        b = SpatialDataset(
+            "b",
+            [
+                Entity.from_geometry(0, Point(0.30, 0.34)),  # within 0.05
+                Entity.from_geometry(1, Point(0.34, 0.34)),  # corner: ~0.057
+            ],
+        )
+        result = spatial_join(
+            a, b, predicate=WithinDistance(0.05), refine=True
+        )
+        # The filter step (Chebyshev) admits both; refinement keeps one.
+        assert result.pairs == frozenset({(0, 0), (0, 1)})
+        assert result.refined == frozenset({(0, 0)})
+
+    def test_refinement_segments(self):
+        a = SpatialDataset(
+            "a", [Entity.from_geometry(0, Segment(0.1, 0.1, 0.4, 0.4))]
+        )
+        b = SpatialDataset(
+            "b",
+            [
+                Entity.from_geometry(0, Segment(0.1, 0.4, 0.4, 0.1)),  # crosses
+                Entity.from_geometry(1, Segment(0.35, 0.12, 0.4, 0.15)),  # MBR only
+            ],
+        )
+        result = spatial_join(a, b, refine=True)
+        assert result.pairs == frozenset({(0, 0), (0, 1)})
+        assert result.refined == frozenset({(0, 0)})
+
+    def test_self_join_identity(self):
+        a = make_squares(100, 0.05, seed=9)
+        result = spatial_join(a, a)
+        assert result.self_join
+        assert all(x < y for x, y in result.pairs)
+
+    def test_external_storage_manager_reused(self):
+        a = make_squares(50, 0.05, seed=10, name="A")
+        b = make_squares(50, 0.05, seed=11, name="B")
+        with StorageManager(StorageConfig(buffer_pages=32)) as manager:
+            result = spatial_join(a, b, storage=manager)
+            assert result.pairs == brute_force_pairs(a, b)
+            # The manager stays usable (not closed by the call).
+            manager.create_file("still-works")
+
+    def test_storage_config_accepted(self):
+        a = make_squares(50, 0.05, seed=12, name="A")
+        b = make_squares(50, 0.05, seed=13, name="B")
+        result = spatial_join(a, b, storage=StorageConfig(buffer_pages=24))
+        assert result.pairs == brute_force_pairs(a, b)
+
+    def test_default_config_memory_fraction(self):
+        a = make_squares(8500, 0.01, seed=14, name="A")  # 100 pages
+        config = default_storage_config(a, a)
+        assert config.buffer_pages == 20  # 10% of 200 pages
+
+    def test_algorithm_params_forwarded(self):
+        a = make_squares(100, 0.05, seed=15, name="A")
+        b = make_squares(100, 0.05, seed=16, name="B")
+        result = spatial_join(a, b, algorithm="pbsm", tiles_per_dim=7)
+        assert result.metrics.details["tiles_per_dim"] == 7
+
+
+class TestMetrics:
+    def make_metrics(self):
+        phases = {
+            "partition": PhaseStats(page_reads=10, page_writes=10),
+            "join": PhaseStats(page_reads=5, cpu_ops={"mbr_test": 1000}),
+        }
+        return JoinMetrics(
+            algorithm="test",
+            phase_names=("partition", "join"),
+            phases=phases,
+            cost_model=CostModel(),
+        )
+
+    def test_response_time_is_sum_of_phases(self):
+        metrics = self.make_metrics()
+        assert metrics.response_time == pytest.approx(
+            metrics.phase_time("partition") + metrics.phase_time("join")
+        )
+
+    def test_absent_phase_zero(self):
+        metrics = self.make_metrics()
+        assert metrics.phase_time("sort") == 0.0
+        assert metrics.phase_ios("sort") == 0
+
+    def test_totals(self):
+        metrics = self.make_metrics()
+        assert metrics.total_ios == 25
+        assert metrics.total_reads == 15
+        assert metrics.total_writes == 10
+
+    def test_replication_total(self):
+        metrics = self.make_metrics()
+        metrics.replication_a = 1.5
+        metrics.replication_b = 2.0
+        assert metrics.replication_total == 3.5
+
+    def test_describe_contains_key_fields(self):
+        text = self.make_metrics().describe()
+        assert "test" in text and "partition" in text and "r_A" in text

@@ -1,0 +1,107 @@
+"""Tests for multiway (k-way) spatial joins."""
+
+import itertools
+
+import pytest
+
+from repro.join.multiway import spatial_multiway_join
+
+from tests.conftest import make_squares
+
+
+def brute_force_kway(datasets):
+    """All id-tuples whose MBRs share a common point."""
+    found = set()
+    for combo in itertools.product(*[list(d) for d in datasets]):
+        region = combo[0].mbr
+        for entity in combo[1:]:
+            region = region.intersection(entity.mbr)
+            if region is None:
+                break
+        else:
+            found.add(tuple(e.eid for e in combo))
+    return frozenset(found)
+
+
+class TestMultiway:
+    def test_requires_two_inputs(self):
+        with pytest.raises(ValueError):
+            spatial_multiway_join([make_squares(5, 0.1, seed=1)])
+
+    def test_two_way_matches_pairwise(self):
+        a = make_squares(120, 0.06, seed=1, name="A")
+        b = make_squares(120, 0.06, seed=2, name="B")
+        tuples, metrics = spatial_multiway_join([a, b])
+        assert tuples == brute_force_kway([a, b])
+        assert len(metrics) == 1
+
+    def test_three_way_common_overlap(self):
+        a = make_squares(80, 0.08, seed=3, name="A")
+        b = make_squares(80, 0.08, seed=4, name="B")
+        c = make_squares(80, 0.08, seed=5, name="C")
+        tuples, metrics = spatial_multiway_join([a, b, c])
+        assert tuples == brute_force_kway([a, b, c])
+        assert len(metrics) == 2
+        assert all(len(t) == 3 for t in tuples)
+
+    def test_four_way(self):
+        datasets = [
+            make_squares(40, 0.12, seed=s, name=f"D{s}") for s in (6, 7, 8, 9)
+        ]
+        tuples, metrics = spatial_multiway_join(datasets)
+        assert tuples == brute_force_kway(datasets)
+        assert len(metrics) == 3
+
+    @pytest.mark.parametrize("algorithm", ["s3j", "pbsm", "shj"])
+    def test_all_algorithms_agree(self, algorithm):
+        a = make_squares(60, 0.08, seed=10, name="A")
+        b = make_squares(60, 0.08, seed=11, name="B")
+        c = make_squares(60, 0.08, seed=12, name="C")
+        tuples, _ = spatial_multiway_join([a, b, c], algorithm=algorithm)
+        assert tuples == brute_force_kway([a, b, c])
+
+    def test_empty_intermediate_short_circuits(self):
+        left = make_squares(20, 0.01, seed=13, name="L")
+        # Entities squeezed into a far corner so no pairs survive.
+        import random
+
+        from repro.geometry.entity import Entity
+        from repro.geometry.rect import Rect
+        from repro.join.dataset import SpatialDataset
+
+        rng = random.Random(14)
+        right = SpatialDataset(
+            "R",
+            [
+                Entity.from_geometry(
+                    i,
+                    Rect(
+                        x := rng.uniform(0.9, 0.99),
+                        y := rng.uniform(0.9, 0.99),
+                        min(1.0, x + 0.005),
+                        min(1.0, y + 0.005),
+                    ),
+                )
+                for i in range(20)
+            ],
+        )
+        far = make_squares(20, 0.01, seed=15, name="F")
+        # Make left cluster in the opposite corner to guarantee no join.
+        left = SpatialDataset(
+            "L",
+            [
+                Entity.from_geometry(
+                    i,
+                    Rect(
+                        x := rng.uniform(0.0, 0.1),
+                        y := rng.uniform(0.0, 0.1),
+                        x + 0.005,
+                        y + 0.005,
+                    ),
+                )
+                for i in range(20)
+            ],
+        )
+        tuples, metrics = spatial_multiway_join([left, right, far])
+        assert tuples == frozenset()
+        assert len(metrics) == 1  # pipeline stopped after the empty stage

@@ -1,0 +1,83 @@
+"""Tests for the cost-based join-method chooser."""
+
+import pytest
+
+from repro.costmodel.optimizer import (
+    CatalogStats,
+    PlanEstimate,
+    choose_algorithm,
+    estimate_plans,
+)
+
+
+class TestCatalogStats:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CatalogStats(pages=-1)
+        with pytest.raises(ValueError):
+            CatalogStats(pages=10, avg_side=1.5)
+
+
+class TestEstimatePlans:
+    def test_returns_all_three_sorted(self):
+        a = CatalogStats(pages=1000, avg_side=0.005)
+        b = CatalogStats(pages=1000, avg_side=0.005)
+        plans = estimate_plans(a, b, memory_pages=100)
+        assert {p.algorithm for p in plans} == {"s3j", "pbsm", "shj"}
+        costs = [p.total_ios for p in plans]
+        assert costs == sorted(costs)
+
+    def test_memory_validation(self):
+        a = CatalogStats(pages=10)
+        with pytest.raises(ValueError):
+            estimate_plans(a, a, memory_pages=1)
+
+    def test_no_statistics_uses_worst_case(self):
+        a = CatalogStats(pages=500)
+        plans = {p.algorithm: p for p in estimate_plans(a, a, memory_pages=64)}
+        assert any("worst-case" in note for note in plans["s3j"].notes)
+        assert any("guessed" in note for note in plans["pbsm"].notes)
+        assert any("guessed" in note for note in plans["shj"].notes)
+
+    def test_statistics_remove_uncertainty_notes(self):
+        a = CatalogStats(pages=500, avg_side=0.01, replication_hint=1.2)
+        plans = {p.algorithm: p for p in estimate_plans(a, a, memory_pages=64)}
+        assert plans["s3j"].notes == ()
+        assert plans["pbsm"].notes == ()
+
+    def test_high_replication_penalizes_baselines(self):
+        a = CatalogStats(pages=500, avg_side=0.02)
+        heavy = CatalogStats(pages=500, avg_side=0.02, replication_hint=8.0)
+        light = CatalogStats(pages=500, avg_side=0.02, replication_hint=1.1)
+        cost = lambda s: {  # noqa: E731
+            p.algorithm: p.total_ios for p in estimate_plans(a, s, memory_pages=64)
+        }
+        assert cost(heavy)["pbsm"] > cost(light)["pbsm"]
+        assert cost(heavy)["shj"] > cost(light)["shj"]
+        assert cost(heavy)["s3j"] == cost(light)["s3j"]  # S3J is immune
+
+    def test_blockwise_note_when_partitions_overflow(self):
+        a = CatalogStats(pages=5000)
+        b = CatalogStats(pages=5000, replication_hint=10.0)
+        plans = {p.algorithm: p for p in estimate_plans(a, b, memory_pages=20)}
+        assert any("blockwise" in note for note in plans["shj"].notes)
+
+
+class TestChooseAlgorithm:
+    def test_prefers_s3j_under_heavy_replication(self):
+        a = CatalogStats(pages=1000, avg_side=0.05, replication_hint=6.0)
+        b = CatalogStats(pages=1000, avg_side=0.05, replication_hint=6.0)
+        assert choose_algorithm(a, b, memory_pages=100) == "s3j"
+
+    def test_choice_matches_cheapest_estimate(self):
+        a = CatalogStats(pages=800, avg_side=0.01)
+        b = CatalogStats(pages=400, avg_side=0.02)
+        plans = estimate_plans(a, b, memory_pages=64, result_pages=50)
+        assert choose_algorithm(a, b, memory_pages=64, result_pages=50) == (
+            plans[0].algorithm
+        )
+
+    def test_plan_estimate_is_frozen(self):
+        plan = PlanEstimate("s3j", 100)
+        with pytest.raises(AttributeError):
+            plan.total_ios = 5

@@ -1,0 +1,187 @@
+"""Tests for Partition Based Spatial Merge Join."""
+
+import pytest
+
+from repro.baselines.pbsm import (
+    PartitionBasedSpatialMergeJoin,
+    _mix32,
+    suggested_partitions,
+)
+from repro.geometry.rect import Rect
+from repro.storage.manager import StorageConfig, StorageManager
+
+from tests.conftest import brute_force_pairs, brute_force_self_pairs, make_squares
+
+
+def run_pbsm(dataset_a, dataset_b, buffer_pages=32, **params):
+    with StorageManager(StorageConfig(buffer_pages=buffer_pages)) as storage:
+        file_a = dataset_a.write_descriptors(storage, "in-a")
+        file_b = dataset_b.write_descriptors(storage, "in-b")
+        storage.phase_boundary()
+        storage.stats.reset()
+        algo = PartitionBasedSpatialMergeJoin(storage, **params)
+        return algo.join(file_a, file_b, self_join=dataset_a is dataset_b)
+
+
+class TestCorrectness:
+    def test_matches_brute_force(self):
+        a = make_squares(300, 0.03, seed=1, name="A")
+        b = make_squares(300, 0.05, seed=2, name="B")
+        assert run_pbsm(a, b).pairs == brute_force_pairs(a, b)
+
+    def test_self_join(self):
+        a = make_squares(250, 0.04, seed=3)
+        assert run_pbsm(a, a).pairs == brute_force_self_pairs(a)
+
+    def test_empty_input(self):
+        a = make_squares(0, 0.1, seed=4, name="A")
+        b = make_squares(50, 0.1, seed=5, name="B")
+        assert run_pbsm(a, b).pairs == frozenset()
+
+    @pytest.mark.parametrize("tiles", [1, 4, 16, 64])
+    def test_any_tile_count_correct(self, tiles):
+        """Too few or too many tiles hurt performance, never
+        correctness (section 2.1)."""
+        a = make_squares(200, 0.04, seed=6, name="A")
+        b = make_squares(200, 0.04, seed=7, name="B")
+        assert run_pbsm(a, b, tiles_per_dim=tiles).pairs == brute_force_pairs(a, b)
+
+    @pytest.mark.parametrize("mapping", ["round_robin", "hash"])
+    def test_both_mappings_correct(self, mapping):
+        a = make_squares(200, 0.04, seed=8, name="A")
+        b = make_squares(200, 0.04, seed=9, name="B")
+        assert run_pbsm(a, b, mapping=mapping).pairs == brute_force_pairs(a, b)
+
+    def test_forced_repartitioning_correct(self):
+        """A single partition much bigger than memory must repartition
+        and still produce the exact result."""
+        a = make_squares(800, 0.03, seed=10, name="A")
+        b = make_squares(800, 0.03, seed=11, name="B")
+        result = run_pbsm(a, b, buffer_pages=16, num_partitions=1)
+        assert result.pairs == brute_force_pairs(a, b)
+        assert result.metrics.details["repartitioned_pairs"] >= 1
+
+    def test_duplicates_eliminated(self):
+        """Large entities replicated across many partitions yield
+        duplicate candidates; the sort must remove them all."""
+        big = make_squares(60, 0.3, seed=12, name="big")
+        small = make_squares(200, 0.02, seed=13, name="small")
+        result = run_pbsm(big, small, tiles_per_dim=16, num_partitions=8)
+        assert result.metrics.replication_a > 1.5
+        assert result.pairs == brute_force_pairs(big, small)
+
+
+class TestParameters:
+    def test_suggested_partitions_equation8(self):
+        assert suggested_partitions(300, 300, 100) == 6
+        assert suggested_partitions(10, 10, 100) == 1
+
+    def test_suggested_partitions_capped_by_memory(self):
+        assert suggested_partitions(10000, 10000, 20) <= 16
+
+    def test_invalid_parameters(self, storage):
+        with pytest.raises(ValueError):
+            PartitionBasedSpatialMergeJoin(storage, tiles_per_dim=0)
+        with pytest.raises(ValueError):
+            PartitionBasedSpatialMergeJoin(storage, mapping="modulo")
+
+    def test_phase_names(self):
+        a = make_squares(100, 0.05, seed=14)
+        result = run_pbsm(a, a)
+        assert result.metrics.phase_names == ("partition", "join", "sort")
+
+
+class TestReplication:
+    def test_replication_grows_with_tiles(self):
+        """Section 2.1 / figure 7: more tiles -> more replication."""
+        a = make_squares(400, 0.05, seed=15, name="A")
+        b = make_squares(400, 0.05, seed=16, name="B")
+        coarse = run_pbsm(a, b, tiles_per_dim=8, num_partitions=16)
+        fine = run_pbsm(a, b, tiles_per_dim=32, num_partitions=16)
+        assert fine.metrics.replication_a > coarse.metrics.replication_a
+
+    def test_points_never_replicate(self):
+        from repro.geometry.entity import Entity
+        from repro.join.dataset import SpatialDataset
+
+        points = SpatialDataset(
+            "pts",
+            [
+                Entity.from_geometry(i, Rect.point(i / 300.0, (i * 7 % 300) / 300.0))
+                for i in range(300)
+            ],
+        )
+        result = run_pbsm(points, points, tiles_per_dim=16)
+        assert result.metrics.replication_a == 1.0
+
+    def test_replication_factor_accounting(self):
+        """r_f = records written / original records (equation 9)."""
+        a = make_squares(300, 0.08, seed=17, name="A")
+        b = make_squares(300, 0.08, seed=18, name="B")
+        result = run_pbsm(a, b, tiles_per_dim=16)
+        assert result.metrics.replication_a >= 1.0
+        assert result.metrics.replication_b >= 1.0
+
+
+class TestFiltering:
+    def test_entities_outside_tile_space_filtered(self):
+        """With the tile space restricted to A's extent, B entities
+        entirely outside it are dropped (the filtering feature)."""
+        import random
+
+        from repro.geometry.entity import Entity
+        from repro.join.dataset import SpatialDataset
+
+        rng = random.Random(19)
+        left = SpatialDataset(
+            "left",
+            [
+                Entity.from_geometry(
+                    i,
+                    Rect(
+                        x := rng.uniform(0, 0.28),
+                        y := rng.uniform(0, 0.95),
+                        x + 0.02,
+                        y + 0.02,
+                    ),
+                )
+                for i in range(200)
+            ],
+        )
+        right = SpatialDataset(
+            "right",
+            [
+                Entity.from_geometry(
+                    i,
+                    Rect(
+                        x := rng.uniform(0.5, 0.93),
+                        y := rng.uniform(0, 0.95),
+                        x + 0.02,
+                        y + 0.02,
+                    ),
+                )
+                for i in range(200)
+            ],
+        )
+        result = run_pbsm(
+            left, right, tile_space=Rect(0.0, 0.0, 0.3, 1.0)
+        )
+        assert result.pairs == frozenset()
+        assert result.metrics.details["filtered_b"] == 200
+        assert result.metrics.replication_b == 0.0
+
+
+class TestMix32:
+    def test_deterministic(self):
+        assert _mix32(12345) == _mix32(12345)
+
+    def test_range(self):
+        for value in (0, 1, 2**31, 2**40):
+            assert 0 <= _mix32(value) <= 0xFFFFFFFF
+
+    def test_breaks_arithmetic_progressions(self):
+        """Tiles in one partition form progressions; their hash mod 2
+        must split roughly evenly (the repartitioning-degeneracy bug)."""
+        values = [(_mix32(t) % 2) for t in range(3, 4000, 10)]
+        ones = sum(values)
+        assert 0.4 < ones / len(values) < 0.6

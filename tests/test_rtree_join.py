@@ -1,0 +1,147 @@
+"""Tests for the BKS93 R-tree spatial join."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.rtree.join import rtree_join
+from repro.rtree.rtree import RTree
+from repro.storage.iostats import IOStats
+
+
+def random_rects(rng, count, max_side=0.15):
+    rects = []
+    for _ in range(count):
+        x = rng.uniform(0, 1)
+        y = rng.uniform(0, 1)
+        rects.append(
+            Rect(
+                x,
+                y,
+                min(1, x + rng.uniform(0, max_side)),
+                min(1, y + rng.uniform(0, max_side)),
+            )
+        )
+    return rects
+
+
+def build(rects, max_entries=8, bulk=False):
+    if bulk:
+        return RTree.bulk_load(list(enumerate_pairs(rects)), max_entries=max_entries)
+    tree = RTree(max_entries=max_entries)
+    for i, rect in enumerate(rects):
+        tree.insert(rect, i)
+    return tree
+
+
+def enumerate_pairs(rects):
+    for i, rect in enumerate(rects):
+        yield rect, i
+
+
+def brute(rects_a, rects_b):
+    return {
+        (i, j)
+        for i, a in enumerate(rects_a)
+        for j, b in enumerate(rects_b)
+        if a.intersects(b)
+    }
+
+
+class TestRTreeJoin:
+    def test_empty_trees(self):
+        assert list(rtree_join(RTree(), RTree())) == []
+        tree = build(random_rects(random.Random(0), 10))
+        assert list(rtree_join(tree, RTree())) == []
+        assert list(rtree_join(RTree(), tree)) == []
+
+    def test_matches_brute_force(self):
+        rng = random.Random(1)
+        rects_a = random_rects(rng, 250)
+        rects_b = random_rects(rng, 250)
+        pairs = set(rtree_join(build(rects_a), build(rects_b)))
+        assert pairs == brute(rects_a, rects_b)
+
+    def test_no_duplicates(self):
+        rng = random.Random(2)
+        rects_a = random_rects(rng, 200)
+        rects_b = random_rects(rng, 200)
+        reported = list(rtree_join(build(rects_a), build(rects_b)))
+        assert len(reported) == len(set(reported))
+
+    def test_different_tree_heights(self):
+        rng = random.Random(3)
+        rects_a = random_rects(rng, 600)   # taller tree
+        rects_b = random_rects(rng, 20)    # shallow tree
+        tree_a = build(rects_a, max_entries=4)
+        tree_b = build(rects_b, max_entries=16)
+        assert tree_a.height > tree_b.height
+        pairs = set(rtree_join(tree_a, tree_b))
+        assert pairs == brute(rects_a, rects_b)
+        # Symmetric orientation also works.
+        flipped = {(b, a) for a, b in rtree_join(tree_b, tree_a)}
+        assert flipped == pairs
+
+    def test_bulk_loaded_trees(self):
+        rng = random.Random(4)
+        rects_a = random_rects(rng, 300)
+        rects_b = random_rects(rng, 300)
+        pairs = set(
+            rtree_join(build(rects_a, bulk=True), build(rects_b, bulk=True))
+        )
+        assert pairs == brute(rects_a, rects_b)
+
+    def test_charges_cpu(self):
+        rng = random.Random(5)
+        stats = IOStats()
+        tree_a = build(random_rects(rng, 100))
+        tree_b = build(random_rects(rng, 100))
+        list(rtree_join(tree_a, tree_b, stats=stats))
+        assert stats.total.cpu_ops.get("rtree", 0) > 0
+        assert stats.total.cpu_ops.get("mbr_test", 0) > 0
+
+    def test_space_restriction_prunes(self):
+        """Node pairs in disjoint regions must never be visited: the
+        traversal cost stays far below the all-node-pairs bound."""
+        rng = random.Random(6)
+        stats = IOStats()
+        # Two clusters far apart, plus a thin joining band.
+        rects_a = [
+            Rect(x, y, x + 0.01, y + 0.01)
+            for x, y in (
+                (rng.uniform(0.0, 0.2), rng.uniform(0.0, 0.2)) for _ in range(300)
+            )
+        ]
+        rects_b = [
+            Rect(x, y, x + 0.01, y + 0.01)
+            for x, y in (
+                (rng.uniform(0.7, 0.9), rng.uniform(0.7, 0.9)) for _ in range(300)
+            )
+        ]
+        tree_a = build(rects_a)
+        tree_b = build(rects_b)
+        assert list(rtree_join(tree_a, tree_b, stats=stats)) == []
+        # Only the two roots should have been compared (plus their
+        # entry restrictions): far less than 300 * 300.
+        assert stats.total.cpu_ops.get("mbr_test", 0) < 1000
+
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_agreement_with_s3j(self, seed):
+        """The indexed R-tree join and S3J agree on identical inputs."""
+        from repro.geometry.entity import Entity
+        from repro.join.api import spatial_join
+        from repro.join.dataset import SpatialDataset
+
+        rng = random.Random(seed)
+        rects_a = random_rects(rng, 150)
+        rects_b = random_rects(rng, 150)
+        a = SpatialDataset(
+            "A", [Entity.from_geometry(i, r) for i, r in enumerate(rects_a)]
+        )
+        b = SpatialDataset(
+            "B", [Entity.from_geometry(i, r) for i, r in enumerate(rects_b)]
+        )
+        expected = spatial_join(a, b, algorithm="s3j").pairs
+        pairs = set(rtree_join(build(rects_a), build(rects_b)))
+        assert pairs == expected

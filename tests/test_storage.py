@@ -1,0 +1,345 @@
+"""Tests for the storage manager: records, backends, buffer pool,
+paged files, ledger, and cost models."""
+
+import pytest
+
+from repro.storage.backend import FileBackend, MemoryBackend
+from repro.storage.buffer import BufferPool, BufferPoolExhausted
+from repro.storage.costs import CostModel, CpuModel, DiskModel
+from repro.storage.iostats import IOStats, PhaseStats
+from repro.storage.manager import StorageConfig, StorageManager
+from repro.storage.records import (
+    CandidatePairCodec,
+    EntityDescriptorCodec,
+    StructCodec,
+)
+
+
+class TestCodecs:
+    def test_descriptor_size_and_capacity(self):
+        codec = EntityDescriptorCodec()
+        assert codec.record_size == 48
+        assert codec.records_per_page(4096) == 85  # the paper's E
+
+    def test_descriptor_roundtrip(self):
+        codec = EntityDescriptorCodec()
+        record = (42, 0.1, 0.2, 0.3, 0.4, 123456789)
+        assert codec.decode(codec.encode(record)) == record
+
+    def test_pair_roundtrip(self):
+        codec = CandidatePairCodec()
+        assert codec.decode(codec.encode((7, -3))) == (7, -3)
+
+    def test_page_too_small_raises(self):
+        with pytest.raises(ValueError):
+            EntityDescriptorCodec().records_per_page(32)
+
+    def test_struct_codec_generic(self):
+        codec = StructCodec("<id")
+        assert codec.decode(codec.encode((1, 2.5))) == (1, 2.5)
+
+
+class TestBackends:
+    @pytest.fixture(params=["memory", "disk"])
+    def backend(self, request, tmp_path):
+        if request.param == "memory":
+            backend = MemoryBackend()
+        else:
+            backend = FileBackend(tmp_path)
+        yield backend
+        backend.close()
+
+    def test_roundtrip(self, backend):
+        codec = EntityDescriptorCodec()
+        backend.create_file("f", codec, 4096)
+        records = [(i, 0.1, 0.2, 0.3, 0.4, i * 7) for i in range(10)]
+        backend.write_page("f", 0, records)
+        assert backend.read_page("f", 0) == records
+
+    def test_overwrite_page(self, backend):
+        codec = CandidatePairCodec()
+        backend.create_file("f", codec, 4096)
+        backend.write_page("f", 0, [(1, 2)])
+        backend.write_page("f", 0, [(3, 4), (5, 6)])
+        assert backend.read_page("f", 0) == [(3, 4), (5, 6)]
+
+    def test_out_of_order_page_writes(self, backend):
+        codec = CandidatePairCodec()
+        backend.create_file("f", codec, 4096)
+        backend.write_page("f", 3, [(3, 3)])
+        backend.write_page("f", 1, [(1, 1)])
+        assert backend.read_page("f", 3) == [(3, 3)]
+        assert backend.read_page("f", 1) == [(1, 1)]
+
+    def test_missing_page_raises(self, backend):
+        backend.create_file("f", EntityDescriptorCodec(), 4096)
+        with pytest.raises(ValueError):
+            backend.read_page("f", 5)
+
+    def test_duplicate_create_raises(self, backend):
+        backend.create_file("f", EntityDescriptorCodec(), 4096)
+        with pytest.raises(FileExistsError):
+            backend.create_file("f", EntityDescriptorCodec(), 4096)
+
+    def test_delete_then_recreate(self, backend):
+        codec = CandidatePairCodec()
+        backend.create_file("f", codec, 4096)
+        backend.write_page("f", 0, [(1, 2)])
+        backend.delete_file("f")
+        backend.create_file("f", codec, 4096)
+        with pytest.raises(ValueError):
+            backend.read_page("f", 0)
+
+    def test_file_backend_overflow_page_raises(self, tmp_path):
+        backend = FileBackend(tmp_path)
+        codec = CandidatePairCodec()
+        backend.create_file("f", codec, 64)  # 4 records per page
+        with pytest.raises(ValueError):
+            backend.write_page("f", 0, [(i, i) for i in range(5)])
+        backend.close()
+
+
+class TestBufferPool:
+    def make_pool(self, capacity=3):
+        backend = MemoryBackend()
+        backend.create_file("f", EntityDescriptorCodec(), 4096)
+        stats = IOStats()
+        return BufferPool(backend, capacity, stats), backend, stats
+
+    def test_miss_then_hit(self):
+        pool, backend, stats = self.make_pool()
+        backend.write_page("f", 0, [(1, 0.0, 0.0, 0.0, 0.0, 0)])
+        pool.fetch("f", 0)
+        pool.unpin("f", 0)
+        pool.fetch("f", 0)
+        pool.unpin("f", 0)
+        assert stats.total.page_reads == 1
+        assert stats.total.buffer_hits == 1
+
+    def test_eviction_writes_dirty(self):
+        pool, backend, stats = self.make_pool(capacity=2)
+        frame = pool.create("f", 0)
+        frame.records.append((1, 0.0, 0.0, 0.0, 0.0, 0))
+        pool.unpin("f", 0, dirty=True)
+        pool.create("f", 1)
+        pool.unpin("f", 1, dirty=True)
+        pool.create("f", 2)  # evicts page 0
+        pool.unpin("f", 2, dirty=True)
+        assert stats.total.page_writes == 1
+        assert backend.read_page("f", 0) == [(1, 0.0, 0.0, 0.0, 0.0, 0)]
+
+    def test_pinned_pages_not_evicted(self):
+        pool, _, _ = self.make_pool(capacity=2)
+        pool.create("f", 0)
+        pool.create("f", 1)
+        with pytest.raises(BufferPoolExhausted):
+            pool.create("f", 2)
+
+    def test_unpin_unpinned_raises(self):
+        pool, _, _ = self.make_pool()
+        pool.create("f", 0)
+        pool.unpin("f", 0, dirty=True)
+        with pytest.raises(RuntimeError):
+            pool.unpin("f", 0)
+
+    def test_flush_clears_dirty_without_evicting(self):
+        pool, backend, stats = self.make_pool()
+        frame = pool.create("f", 0)
+        frame.records.append((9, 0.0, 0.0, 0.0, 0.0, 0))
+        pool.unpin("f", 0, dirty=True)
+        pool.flush()
+        assert backend.read_page("f", 0)
+        assert len(pool) == 1
+        pool.flush()  # second flush writes nothing
+        assert stats.total.page_writes == 1
+
+    def test_invalidate_drops_frames(self):
+        pool, _, _ = self.make_pool()
+        pool.create("f", 0)
+        pool.unpin("f", 0, dirty=True)
+        pool.invalidate()
+        assert len(pool) == 0
+
+    def test_invalidate_pinned_raises(self):
+        pool, _, _ = self.make_pool()
+        pool.create("f", 0)
+        with pytest.raises(RuntimeError):
+            pool.invalidate()
+
+    def test_write_behind_flushes_and_drops(self):
+        pool, backend, stats = self.make_pool()
+        frame = pool.create("f", 0)
+        frame.records.append((1, 0.0, 0.0, 0.0, 0.0, 0))
+        pool.unpin("f", 0, dirty=True)
+        pool.write_behind("f", 0)
+        assert len(pool) == 0
+        assert stats.total.page_writes == 1
+        pool.write_behind("f", 0)  # absent: no-op
+        assert stats.total.page_writes == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(MemoryBackend(), 0, IOStats())
+
+
+class TestPagedFile:
+    def test_append_and_scan(self, storage):
+        handle = storage.create_file("data")
+        records = [(i, 0.0, 0.0, 1.0, 1.0, i) for i in range(200)]
+        handle.append_many(records)
+        assert list(handle.scan()) == records
+        assert handle.num_records == 200
+        assert handle.num_pages == 3  # 85 per page
+
+    def test_read_page_bounds(self, storage):
+        handle = storage.create_file("data")
+        handle.append((0, 0.0, 0.0, 0.0, 0.0, 0))
+        with pytest.raises(IndexError):
+            handle.read_page(1)
+
+    def test_scan_pages_shape(self, storage):
+        handle = storage.create_file("data")
+        handle.append_many((i, 0.0, 0.0, 0.0, 0.0, 0) for i in range(90))
+        pages = list(handle.scan_pages())
+        assert [len(p) for p in pages] == [85, 5]
+
+    def test_survives_eviction_pressure(self, tiny_storage):
+        handle = tiny_storage.create_file("data")
+        others = [tiny_storage.create_file(f"other-{i}") for i in range(3)]
+        for i in range(300):
+            handle.append((i, 0.0, 0.0, 0.0, 0.0, 0))
+            others[i % 3].append((i, 0.0, 0.0, 0.0, 0.0, 1))
+        assert [r[0] for r in handle.scan()] == list(range(300))
+
+
+class TestStorageManager:
+    def test_create_open_drop(self, storage):
+        handle = storage.create_file("x")
+        assert storage.open_file("x") is handle
+        storage.drop_file("x")
+        with pytest.raises(FileNotFoundError):
+            storage.open_file("x")
+
+    def test_drop_missing_raises(self, storage):
+        with pytest.raises(FileNotFoundError):
+            storage.drop_file("nope")
+
+    def test_duplicate_create_raises(self, storage):
+        storage.create_file("x")
+        with pytest.raises(FileExistsError):
+            storage.create_file("x")
+
+    def test_list_files(self, storage):
+        storage.create_file("b")
+        storage.create_file("a")
+        assert storage.list_files() == ["a", "b"]
+
+    def test_phase_boundary_forces_reread(self, storage):
+        handle = storage.create_file("x")
+        handle.append((1, 0.0, 0.0, 0.0, 0.0, 0))
+        storage.phase_boundary()
+        before = storage.stats.total.page_reads
+        list(handle.scan())
+        assert storage.stats.total.page_reads == before + 1
+
+    def test_disk_backend_roundtrip(self, tmp_path):
+        config = StorageConfig(backend="disk", directory=str(tmp_path))
+        with StorageManager(config) as manager:
+            handle = manager.create_file("x")
+            handle.append_many((i, 0.5, 0.5, 0.6, 0.6, i) for i in range(100))
+            manager.pool.invalidate()
+            assert [r[0] for r in handle.scan()] == list(range(100))
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError):
+            StorageManager(StorageConfig(backend="tape"))
+
+    def test_descriptors_per_page(self, storage):
+        assert storage.descriptors_per_page() == 85
+
+
+class TestIOStats:
+    def test_sequential_vs_random_reads(self):
+        stats = IOStats()
+        stats.record_read("f", 0)  # first touch: random
+        stats.record_read("f", 1)  # sequential
+        stats.record_read("f", 5)  # jump: random
+        stats.record_read("g", 0)  # other file: random
+        stats.record_read("f", 6)  # continues f: sequential
+        assert stats.total.page_reads == 5
+        assert stats.total.random_reads == 3
+        assert stats.total.sequential_reads == 2
+
+    def test_per_file_write_tracking(self):
+        stats = IOStats()
+        stats.record_write("a", 0)
+        stats.record_write("b", 0)
+        stats.record_write("a", 1)
+        stats.record_write("b", 1)
+        assert stats.total.random_writes == 2  # only the two first touches
+
+    def test_phase_attribution_innermost(self):
+        stats = IOStats()
+        with stats.phase("outer"):
+            stats.record_read("f", 0)
+            with stats.phase("inner"):
+                stats.record_read("f", 1)
+        assert stats.phases["outer"].page_reads == 1
+        assert stats.phases["inner"].page_reads == 1
+        assert stats.total.page_reads == 2
+
+    def test_phase_reentry_accumulates(self):
+        stats = IOStats()
+        with stats.phase("p"):
+            stats.record_read("f", 0)
+        with stats.phase("p"):
+            stats.record_read("f", 1)
+        assert stats.phases["p"].page_reads == 2
+
+    def test_cpu_charging(self):
+        stats = IOStats()
+        with stats.phase("p"):
+            stats.charge_cpu("hilbert", 10)
+            stats.charge_cpu("hilbert", 5)
+        assert stats.phases["p"].cpu_ops["hilbert"] == 15
+        assert stats.total.cpu_ops["hilbert"] == 15
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.record_read("f", 0)
+        stats.reset()
+        assert stats.total.page_reads == 0
+        assert stats.phases == {}
+
+    def test_reset_inside_phase_raises(self):
+        stats = IOStats()
+        with stats.phase("p"):
+            with pytest.raises(RuntimeError):
+                stats.reset()
+
+
+class TestCostModels:
+    def test_disk_model_charges_random_premium(self):
+        stats = PhaseStats(page_reads=10, random_reads=2)
+        model = DiskModel(random_access_time=0.018, sequential_transfer_time=0.001)
+        assert model.time(stats) == pytest.approx(2 * 0.018 + 8 * 0.001)
+
+    def test_cpu_model_known_ops(self):
+        model = CpuModel(op_costs={"hilbert": 10e-6, "compare": 1e-6})
+        stats = PhaseStats(cpu_ops={"hilbert": 1000})
+        assert model.time(stats) == pytest.approx(0.01)
+
+    def test_cpu_model_unknown_op_costs_nonzero(self):
+        model = CpuModel(op_costs={"compare": 1e-6})
+        stats = PhaseStats(cpu_ops={"mystery": 100})
+        assert model.time(stats) > 0
+
+    def test_response_time_sums(self):
+        model = CostModel()
+        stats = PhaseStats(page_reads=10, cpu_ops={"hilbert": 100})
+        assert model.response_time(stats) == pytest.approx(
+            model.disk.time(stats) + model.cpu.time(stats)
+        )
+
+    def test_hilbert_default_matches_paper(self):
+        assert CpuModel().op_costs["hilbert"] == pytest.approx(10e-6)

@@ -1,0 +1,140 @@
+"""Tests for the shared plane-sweep module."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.iostats import IOStats
+from repro.sweep.plane_sweep import sweep_intersections, sweep_self_intersections
+
+
+def rec(eid, xlo, ylo, xhi, yhi):
+    return (eid, xlo, ylo, xhi, yhi, 0)
+
+
+def brute(left, right):
+    found = set()
+    for a in left:
+        for b in right:
+            if (
+                a[1] <= b[3]
+                and b[1] <= a[3]
+                and a[2] <= b[4]
+                and b[2] <= a[4]
+            ):
+                found.add((a[0], b[0]))
+    return found
+
+
+def random_records(rng, count, start_eid=0, max_side=0.3):
+    records = []
+    for i in range(count):
+        x = rng.uniform(0, 1)
+        y = rng.uniform(0, 1)
+        w = rng.uniform(0, max_side)
+        h = rng.uniform(0, max_side)
+        records.append(rec(start_eid + i, x, y, min(1, x + w), min(1, y + h)))
+    return records
+
+
+class TestSweep:
+    def test_empty_inputs(self):
+        assert list(sweep_intersections([], [])) == []
+        assert list(sweep_intersections([rec(1, 0, 0, 1, 1)], [])) == []
+
+    def test_single_pair(self):
+        a = [rec(1, 0.0, 0.0, 0.5, 0.5)]
+        b = [rec(2, 0.4, 0.4, 1.0, 1.0)]
+        assert [(x[0], y[0]) for x, y in sweep_intersections(a, b)] == [(1, 2)]
+
+    def test_orientation_preserved(self):
+        """First element of each yielded pair comes from ``left``."""
+        a = [rec(1, 0.5, 0.5, 0.6, 0.6)]
+        b = [rec(2, 0.0, 0.0, 1.0, 1.0)]  # b starts before a
+        pairs = list(sweep_intersections(a, b))
+        assert pairs[0][0][0] == 1 and pairs[0][1][0] == 2
+
+    def test_touching_edges_match(self):
+        a = [rec(1, 0.0, 0.0, 0.5, 1.0)]
+        b = [rec(2, 0.5, 0.0, 1.0, 1.0)]
+        assert len(list(sweep_intersections(a, b))) == 1
+
+    def test_y_disjoint_filtered(self):
+        a = [rec(1, 0.0, 0.0, 1.0, 0.2)]
+        b = [rec(2, 0.0, 0.5, 1.0, 1.0)]
+        assert list(sweep_intersections(a, b)) == []
+
+    def test_matches_brute_force_random(self):
+        rng = random.Random(1)
+        a = random_records(rng, 120)
+        b = random_records(rng, 150, start_eid=1000)
+        found = {(x[0], y[0]) for x, y in sweep_intersections(a, b)}
+        assert found == brute(a, b)
+
+    def test_no_duplicate_reports(self):
+        rng = random.Random(2)
+        a = random_records(rng, 100)
+        b = random_records(rng, 100, start_eid=1000)
+        reported = [(x[0], y[0]) for x, y in sweep_intersections(a, b)]
+        assert len(reported) == len(set(reported))
+
+    def test_identical_rectangles_both_sides(self):
+        a = [rec(i, 0.2, 0.2, 0.4, 0.4) for i in range(5)]
+        b = [rec(100 + i, 0.2, 0.2, 0.4, 0.4) for i in range(5)]
+        assert len(list(sweep_intersections(a, b))) == 25
+
+    def test_presorted_inputs(self):
+        rng = random.Random(3)
+        a = sorted(random_records(rng, 80), key=lambda r: r[1])
+        b = sorted(random_records(rng, 80, start_eid=500), key=lambda r: r[1])
+        found = {(x[0], y[0]) for x, y in sweep_intersections(a, b, presorted=True)}
+        assert found == brute(a, b)
+
+    def test_charges_cpu(self):
+        stats = IOStats()
+        rng = random.Random(4)
+        a = random_records(rng, 50)
+        b = random_records(rng, 50, start_eid=500)
+        list(sweep_intersections(a, b, stats=stats))
+        assert stats.total.cpu_ops.get("mbr_test", 0) > 0
+        assert stats.total.cpu_ops.get("compare", 0) > 0
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute(self, seed):
+        rng = random.Random(seed)
+        a = random_records(rng, rng.randrange(0, 60))
+        b = random_records(rng, rng.randrange(0, 60), start_eid=1000)
+        found = {(x[0], y[0]) for x, y in sweep_intersections(a, b)}
+        assert found == brute(a, b)
+
+
+class TestSelfSweep:
+    def test_excludes_self_pairs(self):
+        records = [rec(1, 0, 0, 1, 1)]
+        assert list(sweep_self_intersections(records)) == []
+
+    def test_each_pair_once(self):
+        records = [rec(i, 0.2, 0.2, 0.4, 0.4) for i in range(4)]
+        pairs = [
+            frozenset((a[0], b[0]))
+            for a, b in sweep_self_intersections(records)
+        ]
+        assert len(pairs) == 6
+        assert len(set(pairs)) == 6
+
+    def test_matches_brute_force(self):
+        rng = random.Random(9)
+        records = random_records(rng, 150)
+        expected = {
+            frozenset((a[0], b[0]))
+            for i, a in enumerate(records)
+            for b in records[i + 1 :]
+            if a[1] <= b[3] and b[1] <= a[3] and a[2] <= b[4] and b[2] <= a[4]
+        }
+        found = {
+            frozenset((a[0], b[0]))
+            for a, b in sweep_self_intersections(records)
+        }
+        assert found == expected

@@ -1,0 +1,146 @@
+"""Tests for the synchronized scan (S3J's join phase)."""
+
+import random
+
+import pytest
+
+from repro.core.sync_scan import synchronized_scan
+from repro.curves.hilbert import HilbertCurve
+from repro.filtertree.levels import LevelAssigner
+from repro.geometry.rect import Rect
+from repro.storage.manager import StorageConfig, StorageManager
+
+ORDER = 10
+CURVE = HilbertCurve(order=ORDER)
+ASSIGNER = LevelAssigner(order=ORDER, max_level=ORDER)
+
+
+def build_level_files(storage, tag, rects, start_eid=0):
+    """Partition + sort rects into Hilbert-ordered level files."""
+    by_level = {}
+    for i, rect in enumerate(rects):
+        level = ASSIGNER.level(rect)
+        key = CURVE.key_of_normalized(*rect.center)
+        by_level.setdefault(level, []).append(
+            (start_eid + i, rect.xlo, rect.ylo, rect.xhi, rect.yhi, key)
+        )
+    files = {}
+    for level, records in by_level.items():
+        records.sort(key=lambda r: r[5])
+        handle = storage.create_file(f"{tag}-L{level}")
+        handle.append_many(records)
+        files[level] = handle
+    storage.phase_boundary()
+    return files
+
+
+def random_rects(rng, count, max_side=0.25):
+    rects = []
+    for _ in range(count):
+        x = rng.uniform(0, 1)
+        y = rng.uniform(0, 1)
+        side = rng.uniform(0, max_side)
+        rects.append(Rect(x, y, min(1, x + side), min(1, y + side)))
+    return rects
+
+
+def brute(rects_a, rects_b):
+    return {
+        (i, 1000 + j)
+        for i, a in enumerate(rects_a)
+        for j, b in enumerate(rects_b)
+        if a.intersects(b)
+    }
+
+
+def run_scan(storage, files_a, files_b):
+    pairs = set()
+    synchronized_scan(
+        files_a, files_b, ORDER, lambda a, b: pairs.add((a[0], b[0])),
+        stats=storage.stats,
+    )
+    return pairs
+
+
+class TestCorrectness:
+    def test_empty_inputs(self, storage):
+        assert run_scan(storage, {}, {}) == set()
+
+    def test_one_sided_input(self, storage):
+        files_a = build_level_files(storage, "A", [Rect(0.1, 0.1, 0.2, 0.2)])
+        assert run_scan(storage, files_a, {}) == set()
+
+    def test_same_cell_pair_found(self, storage):
+        rect = Rect(0.1, 0.1, 0.12, 0.12)
+        files_a = build_level_files(storage, "A", [rect])
+        files_b = build_level_files(storage, "B", [rect], start_eid=1000)
+        assert run_scan(storage, files_a, files_b) == {(0, 1000)}
+
+    def test_cross_level_pair_found(self, storage):
+        big = Rect(0.05, 0.05, 0.6, 0.6)     # level 0 (crosses center)
+        small = Rect(0.3, 0.3, 0.31, 0.31)   # deep level, nested inside
+        files_a = build_level_files(storage, "A", [big])
+        files_b = build_level_files(storage, "B", [small], start_eid=1000)
+        assert run_scan(storage, files_a, files_b) == {(0, 1000)}
+
+    def test_disjoint_cells_no_pair(self, storage):
+        a = Rect(0.1, 0.1, 0.12, 0.12)
+        b = Rect(0.9, 0.9, 0.92, 0.92)
+        files_a = build_level_files(storage, "A", [a])
+        files_b = build_level_files(storage, "B", [b], start_eid=1000)
+        assert run_scan(storage, files_a, files_b) == set()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_brute_force(self, seed):
+        with StorageManager(StorageConfig(buffer_pages=64)) as storage:
+            rng = random.Random(seed)
+            rects_a = random_rects(rng, 250)
+            rects_b = random_rects(rng, 250)
+            files_a = build_level_files(storage, "A", rects_a)
+            files_b = build_level_files(storage, "B", rects_b, start_eid=1000)
+            assert run_scan(storage, files_a, files_b) == brute(rects_a, rects_b)
+
+    def test_no_duplicate_pairs(self):
+        with StorageManager(StorageConfig(buffer_pages=64)) as storage:
+            rng = random.Random(5)
+            rects_a = random_rects(rng, 200)
+            rects_b = random_rects(rng, 200)
+            files_a = build_level_files(storage, "A", rects_a)
+            files_b = build_level_files(storage, "B", rects_b, start_eid=1000)
+            seen = []
+            synchronized_scan(
+                files_a, files_b, ORDER, lambda a, b: seen.append((a[0], b[0]))
+            )
+            assert len(seen) == len(set(seen))
+
+    def test_orientation(self):
+        """on_pair always receives the A record first."""
+        with StorageManager(StorageConfig(buffer_pages=64)) as storage:
+            rng = random.Random(6)
+            rects_a = random_rects(rng, 80)
+            rects_b = random_rects(rng, 80)
+            files_a = build_level_files(storage, "A", rects_a)
+            files_b = build_level_files(storage, "B", rects_b, start_eid=1000)
+            pairs = run_scan(storage, files_a, files_b)
+            assert all(a < 1000 <= b for a, b in pairs)
+
+
+class TestReadOnceInvariant:
+    def test_each_page_read_exactly_once(self):
+        """The property the algorithm is designed around (section 3.1):
+        the join phase reads every level-file page exactly once."""
+        with StorageManager(StorageConfig(buffer_pages=64)) as storage:
+            rng = random.Random(7)
+            files_a = build_level_files(storage, "A", random_rects(rng, 800))
+            files_b = build_level_files(
+                storage, "B", random_rects(rng, 800), start_eid=5000
+            )
+            total_pages = sum(
+                f.num_pages for f in list(files_a.values()) + list(files_b.values())
+            )
+            storage.stats.reset()
+            with storage.stats.phase("join"):
+                synchronized_scan(files_a, files_b, ORDER, lambda a, b: None)
+            phase = storage.stats.phases["join"]
+            assert phase.page_reads == total_pages
+            assert phase.buffer_hits == 0
