@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core.partition import DEFAULT_BATCH_SIZE, partition_tiles
 from repro.geometry.rect import Rect
 from repro.join.base import SpatialJoinAlgorithm
 from repro.join.metrics import JoinMetrics
@@ -58,6 +59,11 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
     tile_space:
         The rectangle tiled by the grid.  Entities outside it are
         filtered out; defaults to the unit square (no filtering).
+    batch_size:
+        Records per block of the batched tiling pass
+        (:mod:`repro.core.partition`); ``None`` selects the scalar
+        reference path.  Both paths produce bit-identical partition
+        files and ledger counts.
     """
 
     name = "pbsm"
@@ -70,16 +76,20 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
         num_partitions: int | None = None,
         mapping: str = "round_robin",
         tile_space: Rect | None = None,
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
     ) -> None:
         super().__init__(storage)
         if tiles_per_dim < 1:
             raise ValueError("tiles_per_dim must be positive")
         if mapping not in _MAPPINGS:
             raise ValueError(f"mapping must be one of {_MAPPINGS}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive (or None for scalar)")
         self.tiles_per_dim = tiles_per_dim
         self.num_partitions = num_partitions
         self.mapping = mapping
         self.tile_space = tile_space or Rect(0.0, 0.0, 1.0, 1.0)
+        self.batch_size = batch_size
         self._subfile_seq = 0
 
     def run_filter_step(
@@ -94,6 +104,13 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
             files_a, written_a, filtered_a = self._partition(
                 input_a, "A", partitions, salt=0
             )
+            # Completed A tails go out now (one sequential write each,
+            # due at the phase boundary regardless) so the B scan's
+            # pool pressure never forces dirty evictions whose order
+            # depends on LRU recency (repro.core.partition's parity
+            # invariant).
+            for handle in files_a.values():
+                handle.flush()
             files_b, written_b, filtered_b = self._partition(
                 input_b, "B", partitions, salt=0
             )
@@ -176,7 +193,21 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
     ) -> tuple[dict[int, PagedFile], int, int]:
         """Scan ``source`` and scatter descriptors into partition files
         (with replication).  Returns (files, records written, records
-        filtered out)."""
+        filtered out).  Dispatches to the batched tiling pass unless
+        ``batch_size`` is None; the scalar loop below is the parity
+        reference."""
+        if self.batch_size is not None:
+            return partition_tiles(
+                source,
+                storage=self.storage,
+                space=self.tile_space,
+                grid=grid if grid is not None else self.tiles_per_dim,
+                tile_to_partition=lambda tile: self._tile_to_partition(
+                    tile, partitions, salt
+                ),
+                namer=lambda p: self._file_name(f"{name_prefix}{tag}-P{p}"),
+                batch_size=self.batch_size,
+            )
         stats = self.storage.stats
         files: dict[int, PagedFile] = {}
         written = 0

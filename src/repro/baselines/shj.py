@@ -26,6 +26,11 @@ from __future__ import annotations
 import math
 import random
 
+from repro.core.partition import (
+    DEFAULT_BATCH_SIZE,
+    partition_nearest_center,
+    partition_overlaps,
+)
 from repro.geometry.rect import Rect
 from repro.join.base import SpatialJoinAlgorithm
 from repro.join.metrics import JoinMetrics
@@ -85,6 +90,11 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
         RNG seed for the sampling step (deterministic experiments).
     rtree_fanout:
         Node capacity of the per-partition R-trees.
+    batch_size:
+        Records per block of the batched partition passes
+        (:mod:`repro.core.partition`); ``None`` selects the scalar
+        reference paths.  Both produce bit-identical partition files
+        and ledger counts.
     """
 
     name = "shj"
@@ -98,15 +108,19 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
         seed: int = 0,
         rtree_fanout: int = 32,
         sample_factor: int = 3,
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
     ) -> None:
         super().__init__(storage)
         if sample_factor < 1:
             raise ValueError("sample_factor must be at least 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive (or None for scalar)")
         self.num_partitions = num_partitions
         self.partition_multiplier = partition_multiplier
         self.seed = seed
         self.rtree_fanout = rtree_fanout
         self.sample_factor = sample_factor
+        self.batch_size = batch_size
 
     def run_filter_step(
         self, input_a: PagedFile, input_b: PagedFile
@@ -119,6 +133,13 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
         with stats.phase("partition"):
             partitions = self._sample_seeds(input_a, target)
             files_a = self._partition_a(input_a, partitions)
+            # The A tails are complete: push them out now (one
+            # sequential write each — they'd be written at the phase
+            # boundary anyway) instead of leaving dirty pages whose
+            # eviction during the B scan would depend on LRU recency
+            # order (see repro.core.partition's parity invariant).
+            for handle in files_a.values():
+                handle.flush()
             files_b, written_b, filtered_b = self._partition_b(input_b, partitions)
             self.storage.phase_boundary()
 
@@ -164,6 +185,11 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
         candidates = []
         for page_no in page_numbers:
             records = source.read_page(page_no)  # a random, counted read
+            # Drop the frame: whether a sampled page happens to survive
+            # in the pool until the sequential scan reaches it depends
+            # on eviction churn, and the ledger must not (see
+            # repro.core.partition's parity invariant).
+            source.pool.release(source.name, page_no)
             record = records[rng.randrange(len(records))]
             cx = (record[XLO] + record[XHI]) / 2
             cy = (record[YLO] + record[YHI]) / 2
@@ -177,7 +203,17 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
         self, source: PagedFile, partitions: list[_Partition]
     ) -> dict[int, PagedFile]:
         """Assign every A entity to the partition with the nearest
-        center, expanding that partition's MBR (no replication)."""
+        center, expanding that partition's MBR (no replication).
+        Dispatches to the batched pass unless ``batch_size`` is None;
+        the scalar loop below is the parity reference."""
+        if self.batch_size is not None and source.num_pages > 0:
+            return partition_nearest_center(
+                source,
+                storage=self.storage,
+                partitions=partitions,
+                namer=lambda index: self._file_name(f"A-P{index}"),
+                batch_size=self.batch_size,
+            )
         stats = self.storage.stats
         files: dict[int, PagedFile] = {}
         for record in source.scan():
@@ -200,7 +236,17 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
         self, source: PagedFile, partitions: list[_Partition]
     ) -> tuple[dict[int, PagedFile], int, int]:
         """Record every B entity in each partition whose MBR it
-        overlaps (replication); filter entities overlapping none."""
+        overlaps (replication); filter entities overlapping none.
+        Dispatches to the batched pass unless ``batch_size`` is None;
+        the scalar loop below is the parity reference."""
+        if self.batch_size is not None:
+            return partition_overlaps(
+                source,
+                storage=self.storage,
+                partitions=partitions,
+                namer=lambda index: self._file_name(f"B-P{index}"),
+                batch_size=self.batch_size,
+            )
         stats = self.storage.stats
         files: dict[int, PagedFile] = {}
         written = 0

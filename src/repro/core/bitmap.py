@@ -22,6 +22,8 @@ value truncated to ``2*l`` bits.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.curves.base import SpaceFillingCurve
 from repro.filtertree.grid import cells_overlapping
 from repro.geometry.rect import Rect
@@ -67,15 +69,43 @@ class DynamicSpatialBitmap:
 
     # -- population (first data set) -----------------------------------
 
-    def set_entity(self, mbr: Rect, hilbert: int, entity_level: int) -> None:
-        """Project one entity of the first data set onto the bitmap."""
+    def set_entity(self, mbr: Rect | None, hilbert: int, entity_level: int) -> None:
+        """Project one entity of the first data set onto the bitmap.
+
+        ``mbr`` may be None when the projection provably will not read
+        it (see :meth:`_lazy_mbr`); the scalar partition paths always
+        pass the real rectangle.
+        """
         self.set_operations += 1
         for lo, hi in self._bit_ranges(mbr, hilbert, entity_level):
             self._set_range(lo, hi)
 
+    def set_batch(
+        self,
+        xlo: Sequence[float],
+        ylo: Sequence[float],
+        xhi: Sequence[float],
+        yhi: Sequence[float],
+        hilberts: Sequence[int],
+        levels: Sequence[int],
+    ) -> None:
+        """Project a block of first-data-set entities onto the bitmap.
+
+        Counter-for-counter identical to calling :meth:`set_entity`
+        per row; the MBR is only materialized for entities whose
+        projection actually inspects it (precise mode, entity coarser
+        than the bitmap level).
+        """
+        for i in range(len(hilberts)):
+            self.set_entity(
+                self._lazy_mbr(xlo, ylo, xhi, yhi, i, levels[i]),
+                hilberts[i],
+                levels[i],
+            )
+
     # -- probing (second data set) ---------------------------------------
 
-    def admits(self, mbr: Rect, hilbert: int, entity_level: int) -> bool:
+    def admits(self, mbr: Rect | None, hilbert: int, entity_level: int) -> bool:
         """True when an entity of the second data set may have a joining
         partner (some corresponding bit is set); false means the entity
         can be safely filtered out."""
@@ -86,10 +116,54 @@ class DynamicSpatialBitmap:
         self.filtered_count += 1
         return False
 
+    def admits_batch(
+        self,
+        xlo: Sequence[float],
+        ylo: Sequence[float],
+        xhi: Sequence[float],
+        yhi: Sequence[float],
+        hilberts: Sequence[int],
+        levels: Sequence[int],
+    ) -> list[bool]:
+        """Per-row :meth:`admits` over a block of second-data-set
+        entities (same counters, lazy MBR construction)."""
+        return [
+            self.admits(
+                self._lazy_mbr(xlo, ylo, xhi, yhi, i, levels[i]),
+                hilberts[i],
+                levels[i],
+            )
+            for i in range(len(hilberts))
+        ]
+
+    def _lazy_mbr(
+        self,
+        xlo: Sequence[float],
+        ylo: Sequence[float],
+        xhi: Sequence[float],
+        yhi: Sequence[float],
+        index: int,
+        entity_level: int,
+    ) -> Rect | None:
+        """The entity MBR when the projection will read it, else None.
+
+        :meth:`_bit_ranges` touches the MBR only in precise mode for
+        entities coarser than the bitmap level (``entity_level <
+        level``); every other projection works off the Hilbert value
+        alone, so the batch paths skip the Rect construction there.
+        """
+        if (
+            self.mode == "precise"
+            and self.level > 0
+            and entity_level < self.level
+        ):
+            return Rect(xlo[index], ylo[index], xhi[index], yhi[index])
+        return None
+
     # -- internals ---------------------------------------------------------
 
     def _bit_ranges(
-        self, mbr: Rect, hilbert: int, entity_level: int
+        self, mbr: Rect | None, hilbert: int, entity_level: int
     ) -> list[tuple[int, int]]:
         """Half-open bit-index ranges covering the entity's projection."""
         self._charge()
@@ -114,25 +188,42 @@ class DynamicSpatialBitmap:
         return ranges
 
     def _set_range(self, lo: int, hi: int) -> None:
-        for bit in range(lo, hi):
-            self._bits[bit >> 3] |= 1 << (bit & 7)
+        """Set bits ``[lo, hi)``, filling whole middle bytes at once.
+
+        ``fast`` mode projects a level-0 entity on a level-13 bitmap to
+        a 2^26-bit range; setting those one loop iteration at a time is
+        tens of millions of Python operations, while the slice fill
+        below is three byte-level writes.
+        """
+        if hi <= lo:
+            return
+        if hi - lo == 1:  # the common single-bit case
+            self._bits[lo >> 3] |= 1 << (lo & 7)
+            return
+        first, last = lo >> 3, (hi - 1) >> 3
+        head_mask = (0xFF << (lo & 7)) & 0xFF
+        tail_mask = 0xFF >> (7 - ((hi - 1) & 7))
+        if first == last:
+            self._bits[first] |= head_mask & tail_mask
+            return
+        self._bits[first] |= head_mask
+        self._bits[last] |= tail_mask
+        if last - first > 1:
+            self._bits[first + 1 : last] = b"\xff" * (last - first - 1)
 
     def _any_in_range(self, lo: int, hi: int) -> bool:
-        # Check partial leading byte, whole middle bytes, partial tail.
-        bit = lo
-        while bit < hi and bit & 7:
-            if self._bits[bit >> 3] & (1 << (bit & 7)):
-                return True
-            bit += 1
-        while bit + 8 <= hi:
-            if self._bits[bit >> 3]:
-                return True
-            bit += 8
-        while bit < hi:
-            if self._bits[bit >> 3] & (1 << (bit & 7)):
-                return True
-            bit += 1
-        return False
+        """True when any bit in ``[lo, hi)`` is set (byte-wise scan)."""
+        if hi <= lo:
+            return False
+        first, last = lo >> 3, (hi - 1) >> 3
+        head_mask = (0xFF << (lo & 7)) & 0xFF
+        tail_mask = 0xFF >> (7 - ((hi - 1) & 7))
+        if first == last:
+            return bool(self._bits[first] & head_mask & tail_mask)
+        if self._bits[first] & head_mask or self._bits[last] & tail_mask:
+            return True
+        # Whole middle bytes: strip() runs at C speed over the slice.
+        return bool(self._bits[first + 1 : last].strip(b"\x00"))
 
     def is_set(self, bit: int) -> bool:
         """Direct single-bit read (used by tests)."""

@@ -16,6 +16,7 @@ Given two spatial data sets A and B:
 from __future__ import annotations
 
 from repro.core.bitmap import DynamicSpatialBitmap
+from repro.core.partition import DEFAULT_BATCH_SIZE, partition_levels
 from repro.core.sync_scan import synchronized_scan
 from repro.curves.base import SpaceFillingCurve
 from repro.curves.hilbert import HilbertCurve
@@ -51,6 +52,11 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
         When true, descriptors already carry Hilbert values (the paper's
         "part of the descriptors" option) and no ``hilbert`` CPU cost is
         charged during partitioning.
+    batch_size:
+        Records per block of the batched partition pipeline
+        (:mod:`repro.core.partition`).  ``None`` selects the scalar
+        record-at-a-time reference path; both produce bit-identical
+        level files and ledger counts.
     """
 
     name = "s3j"
@@ -64,6 +70,7 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
         dsb_level: int | None = None,
         dsb_mode: str = "precise",
         hilbert_precomputed: bool = False,
+        batch_size: int | None = DEFAULT_BATCH_SIZE,
     ) -> None:
         super().__init__(storage)
         self.curve = curve or HilbertCurve()
@@ -73,6 +80,9 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
         self.dsb_level = dsb_level
         self.dsb_mode = dsb_mode
         self.hilbert_precomputed = hilbert_precomputed
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive (or None for scalar)")
+        self.batch_size = batch_size
 
     def run_filter_step(
         self, input_a: PagedFile, input_b: PagedFile
@@ -86,6 +96,12 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
 
         with stats.phase("partition"):
             levels_a = self._partition(input_a, "A", bitmap=bitmap, building=True)
+            # A's level-file tails are complete: write them now (one
+            # sequential write each, due at the phase boundary anyway)
+            # so B's scan never evicts dirty A pages in LRU-recency
+            # order (repro.core.partition's parity invariant).
+            for handle in levels_a.values():
+                handle.flush()
             levels_b = self._partition(input_b, "B", bitmap=bitmap, building=False)
             self.storage.phase_boundary()
 
@@ -137,7 +153,21 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
 
         ``building=True`` populates the bitmap (data set A);
         ``building=False`` probes it and filters (data set B).
+        Dispatches to the batched pipeline unless ``batch_size`` is
+        None; the scalar loop below is the parity reference.
         """
+        if self.batch_size is not None:
+            return partition_levels(
+                source,
+                storage=self.storage,
+                assigner=self.assigner,
+                curve=self.curve,
+                namer=lambda level: self._file_name(f"{tag}-L{level}"),
+                bitmap=bitmap,
+                building=building,
+                hilbert_precomputed=self.hilbert_precomputed,
+                batch_size=self.batch_size,
+            )
         stats = self.storage.stats
         level_files: dict[int, PagedFile] = {}
         for record in source.scan():

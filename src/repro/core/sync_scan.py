@@ -20,10 +20,10 @@ can still enclose later arrivals.
 from __future__ import annotations
 
 import heapq
-import math
 from typing import Callable, Iterator
 
 from repro.storage.backend import Record
+from repro.storage.costs import sort_comparison_count
 from repro.storage.iostats import IOStats
 from repro.storage.pagedfile import PagedFile
 from repro.storage.records import HKEY, XLO
@@ -103,7 +103,7 @@ def _page_stream(
         max_end = ((records[-1][HKEY] >> shift) << shift) + size
         records.sort(key=lambda record: record[XLO])
         if stats is not None:
-            stats.charge_cpu("compare", _sort_cost(len(records)))
+            stats.charge_cpu("compare", sort_comparison_count(len(records)))
         yield start, (side, level, page_no), max_end, side, records
 
 
@@ -116,9 +116,3 @@ def _expire(open_pages: list[tuple[int, list[Record]]], start: int) -> None:
     """
     if any(end <= start for end, _ in open_pages):
         open_pages[:] = [item for item in open_pages if item[0] > start]
-
-
-def _sort_cost(n: int) -> int:
-    if n < 2:
-        return 0
-    return int(n * math.log2(n))

@@ -40,9 +40,16 @@ class SpaceFillingCurve(ABC):
         """Inverse mapping: the grid cell visited at position ``key``."""
 
     def keys(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`key` (default: scalar loop; curves override)."""
+        """Vectorized :meth:`key` (default: scalar loop; curves override).
+
+        Always returns ``int64`` — the signed dtype matches the scalar
+        :meth:`key` Python ints and keeps downstream mixing with other
+        ``int64`` arrays from silently promoting to ``float64`` (which
+        a ``uint64`` result would).  Keys fit: ``order <= 31`` bounds
+        them below ``2^62``.
+        """
         return np.array(
-            [self.key(int(x), int(y)) for x, y in zip(xs, ys)], dtype=np.uint64
+            [self.key(int(x), int(y)) for x, y in zip(xs, ys)], dtype=np.int64
         )
 
     def quantize(self, coord: float) -> int:

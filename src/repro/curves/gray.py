@@ -54,4 +54,4 @@ class GrayCurve(SpaceFillingCurve):
         while int(shift) < 2 * self.order:
             value ^= value >> shift
             shift <<= np.uint64(1)
-        return value
+        return value.astype(np.int64)

@@ -81,4 +81,4 @@ class HilbertCurve(SpaceFillingCurve):
             swap = ry == 0
             x, y = np.where(swap, y, x), np.where(swap, x, y)
             s >>= 1
-        return d.astype(np.uint64)
+        return d

@@ -60,4 +60,8 @@ class ZOrderCurve(SpaceFillingCurve):
         y = np.asarray(ys, dtype=np.uint64)
         if x.shape != y.shape:
             raise ValueError("xs and ys must have the same shape")
-        return (_spread_bits64(x) << np.uint64(1)) | _spread_bits64(y)
+        keys = (_spread_bits64(x) << np.uint64(1)) | _spread_bits64(y)
+        # int64, matching the scalar path: keys fit (order <= 31 means
+        # key < 2^62), and uint64 results would silently promote to
+        # float64 when mixed with int64 arithmetic downstream.
+        return keys.astype(np.int64)

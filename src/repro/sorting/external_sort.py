@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.storage.backend import Record
+from repro.storage.costs import sort_comparison_count
 from repro.storage.manager import StorageManager
 from repro.storage.pagedfile import PagedFile
 from repro.storage.records import RecordCodec
@@ -112,7 +113,7 @@ class ExternalSorter:
                 return
             batch.sort(key=key)
             self.storage.stats.charge_cpu(
-                "compare", _comparison_count(len(batch))
+                "compare", sort_comparison_count(len(batch))
             )
             name = self._new_run_name()
             run = self.storage.create_file(name, codec)
@@ -185,13 +186,6 @@ class ExternalSorter:
         output._tail_count = source._tail_count
         self.storage.drop_file(current)
         return output
-
-
-def _comparison_count(n: int) -> int:
-    """Comparisons for an in-memory sort of ``n`` records."""
-    if n < 2:
-        return 0
-    return int(n * math.log2(n))
 
 
 def _drop_adjacent_duplicates(records: Iterator[Record]) -> Iterator[Record]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Iterator
 
 from repro.storage.backend import Record, StorageBackend
 from repro.storage.iostats import IOStats
@@ -94,7 +94,11 @@ class BufferPool:
         """Context manager giving pinned access to a page's record list.
 
         Mutating the list is allowed; the page is marked dirty on exit
-        when its contents changed identity-wise (callers may also mark
+        when its contents compare unequal (``!=``) to a snapshot taken
+        at entry.  This is *value* comparison, not identity: replacing a
+        record in place, appending, and deleting are all detected, while
+        rewriting a record with an equal value is treated as clean.
+        Newly created pages are always dirty (callers may also mark
         explicitly via :meth:`unpin`)."""
         frame = self.create(file_name, page_no) if create else self.fetch(file_name, page_no)
         before = list(frame.records) if not create else None
@@ -161,6 +165,22 @@ class BufferPool:
         if frame is None or frame.pins > 0:
             return
         self._evict(key, frame)
+
+    def release(self, file_name: str, page_no: int) -> None:
+        """Drop one clean, unpinned frame without any I/O (no-op when
+        the frame is absent, pinned, or dirty).
+
+        Block scans call this after copying a page out, so a bulk
+        reader pulling many input pages per batch does not push the
+        partial output tails of other files out of the LRU — keeping
+        the eviction (and therefore ledger) behavior of the batched
+        partition pipeline identical to the record-at-a-time path.
+        """
+        key = (file_name, page_no)
+        frame = self._frames.get(key)
+        if frame is None or frame.pins > 0 or frame.dirty:
+            return
+        del self._frames[key]
 
     def drop_file(self, file_name: str) -> None:
         """Discard frames of a deleted file without writing them back."""

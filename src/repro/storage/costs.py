@@ -12,9 +12,23 @@ phase times and algorithm rankings the paper reports are reproduced
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.storage.iostats import PhaseStats
+
+
+def sort_comparison_count(n: int) -> int:
+    """Comparisons charged for an in-memory sort of ``n`` records:
+    ``n * log2(n)``, the paper's sort-cost term.
+
+    Shared by the external sorter's run formation, the plane sweep's
+    input ordering, and the synchronized scan's per-page x-sort, so all
+    three charge the ledger with one consistent formula.
+    """
+    if n < 2:
+        return 0
+    return int(n * math.log2(n))
 
 
 @dataclass(frozen=True)

@@ -119,6 +119,15 @@ class IOStats:
         for bucket in self._buckets():
             bucket.buffer_hits += 1
 
+    def record_hits(self, count: int) -> None:
+        """Record ``count`` buffer pool hits at once (bulk-append paths
+        charge the hits their record-at-a-time equivalent would have
+        produced, so the ledger stays identical between the two)."""
+        if count <= 0:
+            return
+        for bucket in self._buckets():
+            bucket.buffer_hits += count
+
     def charge_cpu(self, op: str, count: int = 1) -> None:
         """Count ``count`` CPU operations of kind ``op`` (e.g. "hilbert",
         "mbr_test", "compare")."""

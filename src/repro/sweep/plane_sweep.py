@@ -9,10 +9,10 @@ inside its x-extent.  Each intersecting pair is reported exactly once.
 
 from __future__ import annotations
 
-import math
 from typing import Iterator
 
 from repro.storage.backend import Record
+from repro.storage.costs import sort_comparison_count
 from repro.storage.iostats import IOStats
 from repro.storage.records import XHI, XLO, YHI, YLO
 
@@ -34,7 +34,9 @@ def sweep_intersections(
     a = left if presorted else sorted(left, key=lambda r: r[XLO])
     b = right if presorted else sorted(right, key=lambda r: r[XLO])
     if stats is not None and not presorted:
-        stats.charge_cpu("compare", _sort_cost(len(a)) + _sort_cost(len(b)))
+        stats.charge_cpu(
+            "compare", sort_comparison_count(len(a)) + sort_comparison_count(len(b))
+        )
 
     ai = bi = 0
     len_a, len_b = len(a), len(b)
@@ -56,7 +58,7 @@ def sweep_self_intersections(
     one list (self-join; each pair reported once, never ``(r, r)``)."""
     items = records if presorted else sorted(records, key=lambda r: r[XLO])
     if stats is not None and not presorted:
-        stats.charge_cpu("compare", _sort_cost(len(items)))
+        stats.charge_cpu("compare", sort_comparison_count(len(items)))
     for i, current in enumerate(items):
         x_max = current[XHI]
         for j in range(i + 1, len(items)):
@@ -89,8 +91,3 @@ def _scan(
         if ylo <= other[YHI] and other[YLO] <= yhi:
             yield (other, pivot) if flip else (pivot, other)
 
-
-def _sort_cost(n: int) -> int:
-    if n < 2:
-        return 0
-    return int(n * math.log2(n))

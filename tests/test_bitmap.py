@@ -171,3 +171,110 @@ class TestFilteringEffectiveness:
             if not bitmap.admits(rect, key, level):
                 filtered += 1
         assert filtered > 150
+
+
+def _naive_set(bits, lo, hi):
+    for bit in range(lo, hi):
+        bits[bit >> 3] |= 1 << (bit & 7)
+
+
+class TestByteWiseRanges:
+    """`_set_range` / `_any_in_range` fill and scan whole bytes; they
+    must agree with the bit-at-a-time definition on every alignment."""
+
+    @given(st.integers(0, 1024), st.integers(0, 1024))
+    @settings(max_examples=300)
+    def test_set_range_matches_naive(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        bitmap = DynamicSpatialBitmap(5, CURVE)  # 1024 bits
+        expected = bytearray(len(bitmap._bits))
+        _naive_set(expected, lo, hi)
+        bitmap._set_range(lo, hi)
+        assert bitmap._bits == expected
+
+    @given(
+        st.integers(0, 1024),
+        st.integers(0, 1024),
+        st.lists(st.integers(0, 1023), max_size=8),
+    )
+    @settings(max_examples=300)
+    def test_any_in_range_matches_naive(self, a, b, set_bits):
+        lo, hi = min(a, b), max(a, b)
+        bitmap = DynamicSpatialBitmap(5, CURVE)
+        for bit in set_bits:
+            bitmap._set_range(bit, bit + 1)
+        expected = any(lo <= bit < hi for bit in set_bits)
+        assert bitmap._any_in_range(lo, hi) is expected
+
+    def test_fast_mode_huge_range_is_cheap(self):
+        """Regression: a level-0 entity projected in fast mode onto a
+        level-13 bitmap covers all 2^26 bits.  Setting them must be a
+        few byte-slice operations, not 67 million Python loop turns."""
+        import time
+
+        curve = HilbertCurve(order=16)
+        bitmap = DynamicSpatialBitmap(13, curve, mode="fast")
+        start = time.perf_counter()
+        bitmap.set_entity(Rect(0.0, 0.0, 1.0, 1.0), 0, 0)
+        assert bitmap.admits(Rect(0.3, 0.3, 0.9, 0.9), 0, 0)
+        elapsed = time.perf_counter() - start
+        assert bitmap.population() == bitmap.num_bits
+        # The bit-at-a-time version needs tens of seconds here; the
+        # byte-wise one is well under a second even on slow CI.
+        assert elapsed < 2.0
+
+    def test_probe_empty_huge_range_is_cheap(self):
+        import time
+
+        curve = HilbertCurve(order=16)
+        bitmap = DynamicSpatialBitmap(13, curve, mode="fast")
+        bitmap._set_range(bitmap.num_bits - 1, bitmap.num_bits)
+        start = time.perf_counter()
+        assert bitmap._any_in_range(0, bitmap.num_bits)
+        assert not bitmap._any_in_range(0, bitmap.num_bits - 1)
+        assert time.perf_counter() - start < 2.0
+
+
+class TestBatchProjection:
+    """`set_batch` / `admits_batch` must be call-for-call equivalent to
+    the scalar projections, counters included."""
+
+    def test_batch_equals_scalar(self):
+        rng = random.Random(42)
+        rects = random_rects(rng, 120)
+        projections = [project(None, rect)[1:] for rect in rects]
+        keys = [key for key, _ in projections]
+        levels = [level for _, level in projections]
+        for mode in ("precise", "fast"):
+            scalar_stats, batch_stats = IOStats(), IOStats()
+            scalar = DynamicSpatialBitmap(6, CURVE, mode=mode, stats=scalar_stats)
+            batch = DynamicSpatialBitmap(6, CURVE, mode=mode, stats=batch_stats)
+            half = len(rects) // 2
+            for rect, key, level in zip(rects[:half], keys, levels):
+                scalar.set_entity(rect, key, level)
+            batch.set_batch(
+                [r.xlo for r in rects[:half]],
+                [r.ylo for r in rects[:half]],
+                [r.xhi for r in rects[:half]],
+                [r.yhi for r in rects[:half]],
+                keys[:half],
+                levels[:half],
+            )
+            assert batch._bits == scalar._bits
+            scalar_answers = [
+                scalar.admits(rect, key, level)
+                for rect, key, level in zip(rects[half:], keys[half:], levels[half:])
+            ]
+            batch_answers = batch.admits_batch(
+                [r.xlo for r in rects[half:]],
+                [r.ylo for r in rects[half:]],
+                [r.xhi for r in rects[half:]],
+                [r.yhi for r in rects[half:]],
+                keys[half:],
+                levels[half:],
+            )
+            assert batch_answers == scalar_answers
+            assert batch.set_operations == scalar.set_operations
+            assert batch.probe_operations == scalar.probe_operations
+            assert batch.filtered_count == scalar.filtered_count
+            assert batch_stats.total == scalar_stats.total

@@ -174,3 +174,40 @@ class TestKeyOfNormalized:
         assert issubclass(HilbertCurve, SpaceFillingCurve)
         assert issubclass(ZOrderCurve, SpaceFillingCurve)
         assert issubclass(GrayCurve, SpaceFillingCurve)
+
+
+class TestKeyDtypeConsistency:
+    """Vectorized keys are int64 — the signed dtype matching the scalar
+    Python ints.  A uint64 result would silently promote to float64 the
+    moment it mixed with signed arithmetic, corrupting keys above 2^53.
+    """
+
+    @pytest.mark.parametrize("cls", ALL_CURVES, ids=lambda c: c.name)
+    def test_keys_are_int64(self, cls):
+        curve = cls(order=16)
+        keys = curve.keys(np.array([0, 5, 100]), np.array([3, 7, 200]))
+        assert keys.dtype == np.int64
+
+    @pytest.mark.parametrize("cls", ALL_CURVES, ids=lambda c: c.name)
+    def test_mixing_with_signed_stays_integral(self, cls):
+        curve = cls(order=16)
+        keys = curve.keys(np.array([1, 2, 3]), np.array([4, 5, 6]))
+        mixed = keys - np.int64(1)  # uint64 here would yield float64
+        assert np.issubdtype(mixed.dtype, np.integer)
+
+    @pytest.mark.parametrize("cls", ALL_CURVES, ids=lambda c: c.name)
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_vector_agree_at_max_order(self, cls, data):
+        """Property cross-check at order 31, where keys approach 2^62:
+        any float64 round-trip would be off by thousands."""
+        curve = cls(order=31)
+        n = data.draw(st.integers(1, 8))
+        xs = [data.draw(st.integers(0, curve.side - 1)) for _ in range(n)]
+        ys = [data.draw(st.integers(0, curve.side - 1)) for _ in range(n)]
+        batch = curve.keys(np.array(xs, dtype=np.int64), np.array(ys, dtype=np.int64))
+        assert batch.dtype == np.int64
+        for x, y, key in zip(xs, ys, batch):
+            scalar = curve.key(x, y)
+            assert int(key) == scalar
+            assert 0 <= scalar <= curve.max_key

@@ -1,7 +1,5 @@
 """Tests for the Filter-Tree level machinery."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given

@@ -1,0 +1,170 @@
+"""Ledger-parity tests: the batched partition pipeline must be
+indistinguishable — in the simulated I/O ledger, in every per-phase CPU
+counter, and in the emitted records — from the scalar reference paths.
+
+This is the hard invariant of :mod:`repro.core.partition`: batching is
+a pure wall-clock optimization of the *simulator*, never a change to
+the simulated algorithm.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.pbsm import PartitionBasedSpatialMergeJoin
+from repro.baselines.shj import SpatialHashJoin
+from repro.core.s3j import SizeSeparationSpatialJoin
+from repro.curves.hilbert import HilbertCurve
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.dataset import SpatialDataset
+from repro.storage.manager import StorageConfig, StorageManager
+
+from tests.conftest import make_squares
+
+BATCH_SIZES = (1, 7, 4096)  # page-sized blocks, ragged blocks, one big block
+
+
+def make_clustered(count: int, seed: int, name: str) -> SpatialDataset:
+    """Gaussian clusters plus occasional large rectangles, so records
+    spread over many Filter-Tree levels and tiles replicate unevenly."""
+    rng = random.Random(seed)
+    centers = [(rng.random(), rng.random()) for _ in range(8)]
+    entities = []
+    for eid in range(count):
+        side = rng.uniform(0.2, 0.45) if eid % 13 == 0 else rng.uniform(0.002, 0.03)
+        cx, cy = centers[eid % len(centers)]
+        x = min(max(cx + rng.gauss(0.0, 0.08), 0.0), 1.0 - side)
+        y = min(max(cy + rng.gauss(0.0, 0.08), 0.0), 1.0 - side)
+        entities.append(Entity.from_geometry(eid, Rect(x, y, x + side, y + side)))
+    return SpatialDataset(name, entities)
+
+
+WORKLOADS = {
+    "uniform": lambda: (
+        make_squares(400, 0.03, seed=101, name="A"),
+        make_squares(400, 0.05, seed=102, name="B"),
+    ),
+    "clustered": lambda: (
+        make_clustered(400, seed=103, name="A"),
+        make_clustered(400, seed=104, name="B"),
+    ),
+}
+
+ALGORITHMS = {
+    "s3j": lambda storage, bs: SizeSeparationSpatialJoin(storage, batch_size=bs),
+    "s3j-dsb-precise": lambda storage, bs: SizeSeparationSpatialJoin(
+        storage, dsb_level=6, dsb_mode="precise", batch_size=bs
+    ),
+    "s3j-dsb-fast": lambda storage, bs: SizeSeparationSpatialJoin(
+        storage, dsb_level=6, dsb_mode="fast", batch_size=bs
+    ),
+    "pbsm": lambda storage, bs: PartitionBasedSpatialMergeJoin(
+        storage, tiles_per_dim=16, batch_size=bs
+    ),
+    "pbsm-filtering": lambda storage, bs: PartitionBasedSpatialMergeJoin(
+        storage,
+        tiles_per_dim=8,
+        tile_space=Rect(0.25, 0.25, 0.75, 0.75),
+        batch_size=bs,
+    ),
+    "shj": lambda storage, bs: SpatialHashJoin(storage, batch_size=bs),
+}
+
+
+def execute(factory, dataset_a, dataset_b, batch_size, buffer_pages=32):
+    """One full join run on a fresh storage manager; returns everything
+    parity must hold over."""
+    with StorageManager(StorageConfig(buffer_pages=buffer_pages)) as storage:
+        curve = HilbertCurve()
+        file_a = dataset_a.write_descriptors(storage, "in-a", curve=curve)
+        file_b = dataset_b.write_descriptors(storage, "in-b", curve=curve)
+        storage.phase_boundary()
+        storage.stats.reset()
+        algorithm = factory(storage, batch_size)
+        result = algorithm.join(file_a, file_b)
+        return {
+            "pairs": result.pairs,
+            "phases": dict(storage.stats.phases),
+            "total": storage.stats.snapshot(),
+            "details": result.metrics.details,
+            "replication": (
+                result.metrics.replication_a,
+                result.metrics.replication_b,
+            ),
+        }
+
+
+def assert_parity(scalar, batched, context):
+    assert batched["pairs"] == scalar["pairs"], context
+    assert set(batched["phases"]) == set(scalar["phases"]), context
+    for name, reference in scalar["phases"].items():
+        # PhaseStats is a dataclass: == covers page reads/writes, the
+        # random/sequential split, buffer hits, and every CPU op count.
+        assert batched["phases"][name] == reference, f"{context}: phase {name}"
+    assert batched["total"] == scalar["total"], context
+    assert batched["details"] == scalar["details"], context
+    assert batched["replication"] == scalar["replication"], context
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_batched_run_matches_scalar(algorithm, workload):
+    dataset_a, dataset_b = WORKLOADS[workload]()
+    factory = ALGORITHMS[algorithm]
+    scalar = execute(factory, dataset_a, dataset_b, batch_size=None)
+    for batch_size in BATCH_SIZES:
+        batched = execute(factory, dataset_a, dataset_b, batch_size=batch_size)
+        assert_parity(scalar, batched, f"{algorithm}/{workload}/bs={batch_size}")
+
+
+def test_s3j_precomputed_hilbert_parity():
+    """The precomputed-keys path skips the curve kernel in both modes."""
+    dataset_a, dataset_b = WORKLOADS["uniform"]()
+    factory = lambda storage, bs: SizeSeparationSpatialJoin(  # noqa: E731
+        storage, hilbert_precomputed=True, batch_size=bs
+    )
+    scalar = execute(factory, dataset_a, dataset_b, batch_size=None)
+    assert "hilbert" not in scalar["total"].cpu_ops
+    batched = execute(factory, dataset_a, dataset_b, batch_size=512)
+    assert "hilbert" not in batched["total"].cpu_ops
+    assert_parity(scalar, batched, "s3j-precomputed")
+
+
+def test_s3j_level_files_bit_identical():
+    """Stronger than pair equality: the partition phase must write the
+    exact same record tuples to the exact same level files."""
+    dataset = make_clustered(500, seed=105, name="A")
+
+    def partition_once(batch_size):
+        with StorageManager(StorageConfig(buffer_pages=32)) as storage:
+            source = dataset.write_descriptors(storage, "in-a")
+            storage.phase_boundary()
+            storage.stats.reset()
+            algorithm = SizeSeparationSpatialJoin(storage, batch_size=batch_size)
+            with storage.stats.phase("partition"):
+                files = algorithm._partition(source, "A", bitmap=None, building=True)
+            return {
+                level: [tuple(record) for record in handle.scan()]
+                for level, handle in files.items()
+            }
+
+    reference = partition_once(None)
+    assert sum(len(records) for records in reference.values()) == 500
+    for batch_size in BATCH_SIZES:
+        assert partition_once(batch_size) == reference, f"bs={batch_size}"
+
+
+def test_dsb_filter_counts_match():
+    """The bitmap filters the same B entities in both modes."""
+    dataset_a, dataset_b = WORKLOADS["clustered"]()
+    for mode in ("precise", "fast"):
+        factory = lambda storage, bs: SizeSeparationSpatialJoin(  # noqa: E731
+            storage, dsb_level=5, dsb_mode=mode, batch_size=bs
+        )
+        scalar = execute(factory, dataset_a, dataset_b, batch_size=None)
+        batched = execute(factory, dataset_a, dataset_b, batch_size=64)
+        assert scalar["details"]["dsb_filtered"] == batched["details"]["dsb_filtered"]
+        assert_parity(scalar, batched, f"dsb-{mode}")

@@ -343,3 +343,105 @@ class TestCostModels:
 
     def test_hilbert_default_matches_paper(self):
         assert CpuModel().op_costs["hilbert"] == pytest.approx(10e-6)
+
+
+class TestPageDirtyDetection:
+    """The pool's ``page()`` context manager detects dirtiness by value
+    comparison against an entry snapshot (not identity)."""
+
+    def make_pool(self):
+        backend = MemoryBackend()
+        backend.create_file("f", EntityDescriptorCodec(), 4096)
+        backend.write_page("f", 0, [(1, 0.0, 0.0, 0.0, 0.0, 0)])
+        stats = IOStats()
+        return BufferPool(backend, 3, stats), backend, stats
+
+    def test_in_place_mutation_marks_dirty(self):
+        pool, backend, _ = self.make_pool()
+        with pool.page("f", 0) as records:
+            records[0] = (1, 9.0, 9.0, 9.0, 9.0, 0)  # replace in place
+        pool.invalidate()
+        assert backend.read_page("f", 0) == [(1, 9.0, 9.0, 9.0, 9.0, 0)]
+
+    def test_append_and_delete_mark_dirty(self):
+        pool, backend, stats = self.make_pool()
+        with pool.page("f", 0) as records:
+            records.append((2, 1.0, 1.0, 2.0, 2.0, 0))
+        pool.invalidate()
+        assert len(backend.read_page("f", 0)) == 2
+        with pool.page("f", 0) as records:
+            del records[0]
+        pool.invalidate()
+        assert backend.read_page("f", 0) == [(2, 1.0, 1.0, 2.0, 2.0, 0)]
+
+    def test_equal_value_rewrite_stays_clean(self):
+        pool, _, stats = self.make_pool()
+        with pool.page("f", 0) as records:
+            records[0] = (1, 0.0, 0.0, 0.0, 0.0, 0)  # same value, new tuple
+        pool.invalidate()
+        assert stats.total.page_writes == 0
+
+
+class TestRelease:
+    def make_pool(self, capacity=3):
+        backend = MemoryBackend()
+        backend.create_file("f", EntityDescriptorCodec(), 4096)
+        backend.write_page("f", 0, [(1, 0.0, 0.0, 0.0, 0.0, 0)])
+        stats = IOStats()
+        return BufferPool(backend, capacity, stats), backend, stats
+
+    def test_release_drops_clean_frame_without_io(self):
+        pool, _, stats = self.make_pool()
+        pool.fetch("f", 0)
+        pool.unpin("f", 0)
+        pool.release("f", 0)
+        assert len(pool) == 0
+        assert stats.total.page_writes == 0
+
+    def test_release_keeps_dirty_and_pinned_frames(self):
+        pool, _, _ = self.make_pool()
+        frame = pool.fetch("f", 0)  # pinned
+        pool.release("f", 0)
+        assert len(pool) == 1
+        frame.records.append((2, 0.0, 0.0, 0.0, 0.0, 0))
+        pool.unpin("f", 0, dirty=True)
+        pool.release("f", 0)  # dirty: must not be lost
+        assert len(pool) == 1
+        pool.release("g", 5)  # absent: no-op
+        assert len(pool) == 1
+
+
+class TestExtendLedgerParity:
+    """``PagedFile.extend`` must leave the exact ledger a loop of
+    ``append`` calls would."""
+
+    def run_writes(self, bulk, count, prefill=0):
+        with StorageManager(StorageConfig(buffer_pages=8)) as manager:
+            handle = manager.create_file("out")
+            for i in range(prefill):
+                handle.append((i, 0.0, 0.0, 0.0, 0.0, 0))
+            records = [(i, 0.5, 0.5, 1.0, 1.0, i) for i in range(count)]
+            if bulk:
+                handle.extend(records)
+            else:
+                for record in records:
+                    handle.append(record)
+            manager.phase_boundary()
+            contents = list(handle.scan())
+            snapshot = manager.stats.snapshot()
+            return contents, snapshot
+
+    @pytest.mark.parametrize("prefill", [0, 1, 85])
+    @pytest.mark.parametrize("count", [0, 1, 84, 85, 86, 400])
+    def test_extend_matches_append_loop(self, count, prefill):
+        bulk_contents, bulk_stats = self.run_writes(True, count, prefill)
+        loop_contents, loop_stats = self.run_writes(False, count, prefill)
+        assert bulk_contents == loop_contents
+        assert bulk_stats == loop_stats
+
+    def test_extend_streams_lazy_iterables(self):
+        with StorageManager(StorageConfig(buffer_pages=8)) as manager:
+            handle = manager.create_file("out")
+            handle.extend((i, 0.0, 0.0, 1.0, 1.0, i) for i in range(300))
+            assert handle.num_records == 300
+            assert [r[0] for r in handle.scan()] == list(range(300))
