@@ -1,0 +1,34 @@
+"""Machine-readable benchmark artifacts.
+
+Benchmarks call :func:`write_bench_artifact` to drop a
+``BENCH_<name>.json`` file next to their printed output, so CI can
+upload the numbers and PRs can be diffed without scraping stdout.  The
+destination directory is ``REPRO_BENCH_DIR`` when set (CI points it at
+the upload area), else the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_artifact_dir() -> Path:
+    """Where ``BENCH_*.json`` files go (created on demand)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    directory = Path(override) if override else REPO_ROOT
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def write_bench_artifact(name: str, payload: dict[str, Any]) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path."""
+    path = bench_artifact_dir() / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -22,6 +22,7 @@ from repro.baselines.shj import SpatialHashJoin
 from repro.core.s3j import SizeSeparationSpatialJoin
 from repro.storage.manager import StorageConfig, StorageManager
 
+from benchmarks.artifacts import write_bench_artifact
 from tests.conftest import make_squares
 
 NUM_ENTITIES = int(os.environ.get("REPRO_PARTITION_N", "100000"))
@@ -72,6 +73,15 @@ def test_s3j_partition_batched_speedup(benchmark):
     benchmark.extra_info["scalar_s"] = scalar_time
     benchmark.extra_info["batched_s"] = batched_time
     benchmark.extra_info["speedup"] = speedup
+    write_bench_artifact(
+        "partition_throughput",
+        {
+            "entities": NUM_ENTITIES,
+            "scalar_s": scalar_time,
+            "batched_s": batched_time,
+            "speedup": speedup,
+        },
+    )
     assert speedup >= 5.0
 
 

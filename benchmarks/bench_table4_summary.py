@@ -14,6 +14,7 @@ import pytest
 
 from repro.experiments.workloads import WORKLOADS
 
+from benchmarks.artifacts import write_bench_artifact
 from benchmarks.conftest import cached_workload_row
 
 
@@ -56,3 +57,7 @@ def test_table4_row(benchmark, workload, repro_scale):
     benchmark.extra_info["row"] = {
         k: v for k, v in row.items() if k not in ("paper_replication",)
     }
+    write_bench_artifact(
+        f"table4_{workload.name}",
+        {k: v for k, v in row.items() if k not in ("paper_replication",)},
+    )

@@ -1,0 +1,94 @@
+"""CI smoke benchmark: one small instrumented run per algorithm.
+
+Runs ``repro join --report --trace`` for every algorithm on a small
+workload, validates that each report parses back into a
+:class:`~repro.obs.report.RunReport` containing every Table-2 phase of
+its algorithm and that each trace file is a well-formed Chrome
+trace-event document, then leaves the JSON artifacts for CI to upload::
+
+    python -m benchmarks.smoke --out-dir bench-artifacts --scale 0.05
+
+Exits nonzero when a report is missing a phase (or anything else is
+malformed), so the CI job fails loudly instead of shipping an empty
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.obs.report import TABLE2_PHASES, RunReport
+
+WORKLOAD = "UN1-UN2"
+
+
+def run_one(algorithm: str, out_dir: Path, scale: float) -> list[str]:
+    """Run one algorithm; return a list of validation failures."""
+    report_path = out_dir / f"smoke_{algorithm}.report.json"
+    trace_path = out_dir / f"smoke_{algorithm}.trace.json"
+    code = repro_main(
+        [
+            "join",
+            "--algorithm",
+            algorithm,
+            "--workload",
+            WORKLOAD,
+            "--scale",
+            str(scale),
+            "--report",
+            str(report_path),
+            "--trace",
+            str(trace_path),
+        ]
+    )
+    if code != 0:
+        return [f"{algorithm}: repro join exited with {code}"]
+
+    failures: list[str] = []
+    report = RunReport.load(str(report_path))
+    for phase in TABLE2_PHASES[algorithm]:
+        if phase not in report.metrics.phases:
+            failures.append(f"{algorithm}: report is missing phase {phase!r}")
+        elif report.metrics.phase_time(phase) <= 0.0:
+            failures.append(
+                f"{algorithm}: phase {phase!r} has no simulated time"
+            )
+        if report.phase_wall.get(phase, 0.0) <= 0.0:
+            failures.append(f"{algorithm}: phase {phase!r} has no wall time")
+    if report.pairs <= 0:
+        failures.append(f"{algorithm}: no candidate pairs")
+
+    with open(trace_path, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        failures.append(f"{algorithm}: trace has no traceEvents")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="bench-artifacts")
+    parser.add_argument("--scale", type=float, default=0.05)
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    failures: list[str] = []
+    for algorithm in sorted(TABLE2_PHASES):
+        print(f"=== smoke: {algorithm} ===")
+        failures.extend(run_one(algorithm, out_dir, args.scale))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"smoke OK: artifacts in {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

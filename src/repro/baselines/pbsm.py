@@ -95,12 +95,11 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
     def run_filter_step(
         self, input_a: PagedFile, input_b: PagedFile
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
-        stats = self.storage.stats
         partitions = self.num_partitions or suggested_partitions(
             input_a.num_pages, input_b.num_pages, self.storage.memory_pages
         )
 
-        with stats.phase("partition"):
+        with self._phase("partition"):
             files_a, written_a, filtered_a = self._partition(
                 input_a, "A", partitions, salt=0
             )
@@ -121,14 +120,14 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
             self._file_name("candidates"), CandidatePairCodec()
         )
         repartitioned = 0
-        with stats.phase("join"):
+        with self._phase("join"):
             for p in range(partitions):
                 repartitioned += self._join_pair(
                     files_a.get(p), files_b.get(p), candidates, pairs, depth=0
                 )
             self.storage.phase_boundary()
 
-        with stats.phase("sort"):
+        with self._phase("sort"):
             sorter = ExternalSorter(self.storage)
             result = sorter.sort(
                 candidates,
@@ -283,7 +282,7 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
         fine_grid = min(self.tiles_per_dim << (depth + 1), 1 << 14)
         self._subfile_seq += 1
         prefix = f"r{self._subfile_seq}-"
-        with self.storage.stats.phase("partition"):
+        with self._phase("partition"):
             subs_a, _, _ = self._partition(
                 file_a, "A", sub_count, salt=depth + 1, name_prefix=prefix,
                 grid=fine_grid,

@@ -125,12 +125,11 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
     def run_filter_step(
         self, input_a: PagedFile, input_b: PagedFile
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
-        stats = self.storage.stats
         target = self.num_partitions or suggested_partitions(
             input_a.num_pages, self.storage.memory_pages, self.partition_multiplier
         )
 
-        with stats.phase("partition"):
+        with self._phase("partition"):
             partitions = self._sample_seeds(input_a, target)
             files_a = self._partition_a(input_a, partitions)
             # The A tails are complete: push them out now (one
@@ -148,7 +147,7 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
             self._file_name("result"), CandidatePairCodec()
         )
         overflowed = 0
-        with stats.phase("join"):
+        with self._phase("join"):
             for index in range(len(partitions)):
                 overflowed += self._join_pair(
                     files_a.get(index), files_b.get(index), result, pairs

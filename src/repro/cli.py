@@ -4,16 +4,21 @@ Three subcommands::
 
     python -m repro.cli join --algorithm s3j --workload UN1-UN2
     python -m repro.cli table3 [--scale 0.2]
-    python -m repro.cli table4 [--scale 0.2] [--only TR,CFD]
+    python -m repro.cli table4 [--scale 0.2] [--only TR,CFD] [--json]
 
 `join` runs one algorithm on one of the paper's evaluation workloads
-and prints the phase breakdown; `table3` and `table4` regenerate the
-paper's tables.
+and prints the phase breakdown; `--report PATH` additionally writes a
+machine-readable :class:`~repro.obs.report.RunReport` (``-`` prints the
+JSON to stdout instead of the human-readable summary) and
+`--trace PATH` writes a Chrome ``chrome://tracing`` trace-event file.
+`table3` and `table4` regenerate the paper's tables; ``table4 --json``
+emits the rows as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.datagen.paper import default_scale, table3_rows
@@ -21,6 +26,7 @@ from repro.experiments.runner import run_algorithm
 from repro.experiments.table4 import format_table4, table4_rows
 from repro.experiments.workloads import WORKLOADS, workload_by_name
 from repro.join.api import available_algorithms
+from repro.obs import Observability
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -54,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--tiles", type=int, default=None, help="PBSM tiles per dimension"
     )
+    join.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write a machine-readable RunReport JSON ('-' for stdout)",
+    )
+    join.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event file (open in chrome://tracing)",
+    )
     _add_scale(join)
 
     table3 = commands.add_parser("table3", help="regenerate Table 3")
@@ -64,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--only",
         default=None,
         help="comma-separated workload names (default: all six)",
+    )
+    table4.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the rows as JSON instead of the formatted table",
     )
     _add_scale(table4)
 
@@ -81,24 +104,38 @@ def cmd_join(args: argparse.Namespace) -> int:
             print("--tiles only applies to pbsm", file=sys.stderr)
             return 2
         params["tiles_per_dim"] = args.tiles
+    obs = Observability() if (args.report or args.trace) else None
     run = run_algorithm(
         dataset_a,
         dataset_b,
         args.algorithm,
         predicate=workload.predicate(),
         scale=scale,
+        obs=obs,
         **params,
     )
     metrics = run.result.metrics
-    print(f"workload  : {workload.name} (figure {workload.figure}, scale {scale})")
-    print(f"algorithm : {args.algorithm}")
-    print(f"pairs     : {len(run.result.pairs):,}")
-    print(f"page I/Os : {metrics.total_ios:,}")
-    print(f"r_A / r_B : {metrics.replication_a:.2f} / {metrics.replication_b:.2f}")
-    print("phases    :")
-    for phase, seconds in metrics.breakdown().items():
-        print(f"  {phase:<10} {seconds:8.2f} s")
-    print(f"total     : {metrics.response_time:8.2f} s (simulated)")
+    if args.report == "-":
+        # Pure JSON on stdout: no human-readable summary mixed in.
+        print(run.report.to_json())
+    else:
+        print(f"workload  : {workload.name} (figure {workload.figure}, scale {scale})")
+        print(f"algorithm : {args.algorithm}")
+        print(f"pairs     : {len(run.result.pairs):,}")
+        print(f"page I/Os : {metrics.total_ios:,}")
+        print(f"r_A / r_B : {metrics.replication_a:.2f} / {metrics.replication_b:.2f}")
+        print("phases    :")
+        for phase, seconds in metrics.breakdown().items():
+            print(f"  {phase:<10} {seconds:8.2f} s")
+        print(f"total     : {metrics.response_time:8.2f} s (simulated)")
+        if args.report:
+            run.report.save(args.report)
+            print(f"report    : {args.report}", file=sys.stderr)
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(obs.tracer.to_chrome_trace(), handle)
+            handle.write("\n")
+        print(f"trace     : {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -118,7 +155,10 @@ def cmd_table4(args: argparse.Namespace) -> int:
     """Print the regenerated Table 4."""
     only = tuple(args.only.split(",")) if args.only else None
     rows = table4_rows(args.scale, only=only)
-    print(format_table4(rows))
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(format_table4(rows))
     return 0
 
 

@@ -22,18 +22,26 @@ value truncated to ``2*l`` bits.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.curves.base import SpaceFillingCurve
 from repro.filtertree.grid import cells_overlapping
 from repro.geometry.rect import Rect
 from repro.storage.iostats import IOStats
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
 _MODES = ("precise", "fast")
 
 
 class DynamicSpatialBitmap:
-    """A ``4^level``-bit spatial bitmap addressed by Hilbert value."""
+    """A ``4^level``-bit spatial bitmap addressed by Hilbert value.
+
+    ``stats`` is the simulated ledger (every projection charges
+    ``bitmap`` CPU ops); ``metrics`` is observability only — set/probe/
+    admit/reject counters that never influence a simulated quantity.
+    """
 
     def __init__(
         self,
@@ -41,6 +49,7 @@ class DynamicSpatialBitmap:
         curve: SpaceFillingCurve,
         mode: str = "precise",
         stats: IOStats | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not 0 <= level <= min(curve.order, 13):
             raise ValueError("bitmap level must be between 0 and min(order, 13)")
@@ -50,6 +59,7 @@ class DynamicSpatialBitmap:
         self.curve = curve
         self.mode = mode
         self.stats = stats
+        self.metrics = metrics
         self.num_bits = 1 << (2 * level)
         self._bits = bytearray((self.num_bits + 7) // 8)
         # A curve instance at the bitmap's own resolution, for cell keys
@@ -77,6 +87,8 @@ class DynamicSpatialBitmap:
         pass the real rectangle.
         """
         self.set_operations += 1
+        if self.metrics is not None:
+            self.metrics.count("dsb.set_ops")
         for lo, hi in self._bit_ranges(mbr, hilbert, entity_level):
             self._set_range(lo, hi)
 
@@ -110,10 +122,16 @@ class DynamicSpatialBitmap:
         partner (some corresponding bit is set); false means the entity
         can be safely filtered out."""
         self.probe_operations += 1
+        if self.metrics is not None:
+            self.metrics.count("dsb.probes")
         for lo, hi in self._bit_ranges(mbr, hilbert, entity_level):
             if self._any_in_range(lo, hi):
+                if self.metrics is not None:
+                    self.metrics.count("dsb.admits")
                 return True
         self.filtered_count += 1
+        if self.metrics is not None:
+            self.metrics.count("dsb.rejects")
         return False
 
     def admits_batch(

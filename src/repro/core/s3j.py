@@ -88,24 +88,38 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
         self, input_a: PagedFile, input_b: PagedFile
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
         stats = self.storage.stats
+        tracer = self.obs.tracer
+        metrics = self.obs.active_metrics
         bitmap: DynamicSpatialBitmap | None = None
         if self.dsb_level is not None:
             bitmap = DynamicSpatialBitmap(
-                self.dsb_level, self.curve, mode=self.dsb_mode, stats=stats
+                self.dsb_level,
+                self.curve,
+                mode=self.dsb_mode,
+                stats=stats,
+                metrics=metrics,
             )
 
-        with stats.phase("partition"):
-            levels_a = self._partition(input_a, "A", bitmap=bitmap, building=True)
+        with self._phase("partition"):
+            with tracer.span("partition:A", side="A") as span:
+                levels_a = self._partition(input_a, "A", bitmap=bitmap, building=True)
+                span.set(levels=len(levels_a))
             # A's level-file tails are complete: write them now (one
             # sequential write each, due at the phase boundary anyway)
             # so B's scan never evicts dirty A pages in LRU-recency
             # order (repro.core.partition's parity invariant).
             for handle in levels_a.values():
                 handle.flush()
-            levels_b = self._partition(input_b, "B", bitmap=bitmap, building=False)
+            with tracer.span("partition:B", side="B") as span:
+                levels_b = self._partition(input_b, "B", bitmap=bitmap, building=False)
+                span.set(levels=len(levels_b))
             self.storage.phase_boundary()
+        if metrics is not None and bitmap is not None:
+            metrics.gauge("dsb.population_bits", bitmap.population())
+            metrics.gauge("dsb.num_bits", bitmap.num_bits)
+            metrics.gauge("dsb.level", bitmap.level)
 
-        with stats.phase("sort"):
+        with self._phase("sort"):
             sorted_a = self._sort_levels(levels_a, "A")
             sorted_b = self._sort_levels(levels_b, "B")
             self.storage.phase_boundary()
@@ -120,10 +134,17 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
             pairs.add(pair)
             result.append(pair)
 
-        with stats.phase("join"):
-            synchronized_scan(
-                sorted_a, sorted_b, self.curve.order, emit, stats=stats
-            )
+        with self._phase("join"):
+            with tracer.span("sync-scan") as span:
+                processed = synchronized_scan(
+                    sorted_a,
+                    sorted_b,
+                    self.curve.order,
+                    emit,
+                    stats=stats,
+                    metrics=metrics,
+                )
+                span.set(pages=processed, pairs=len(pairs))
             self.storage.phase_boundary()
 
         metrics = self._build_metrics(

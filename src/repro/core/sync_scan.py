@@ -20,7 +20,7 @@ can still enclose later arrivals.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.storage.backend import Record
 from repro.storage.costs import sort_comparison_count
@@ -28,6 +28,9 @@ from repro.storage.iostats import IOStats
 from repro.storage.pagedfile import PagedFile
 from repro.storage.records import HKEY, XLO
 from repro.sweep.plane_sweep import sweep_intersections
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 PairSink = Callable[[Record, Record], None]
 
@@ -41,6 +44,7 @@ def synchronized_scan(
     order: int,
     on_pair: PairSink,
     stats: IOStats | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> int:
     """Merge the sorted level files of both data sets, reporting every
     pair of MBR-intersecting descriptors to ``on_pair`` (``a`` first).
@@ -48,6 +52,10 @@ def synchronized_scan(
     ``files_a``/``files_b`` map level -> Hilbert-sorted level file;
     ``order`` is the curve order the Hilbert values were computed at.
     Returns the number of pages processed.
+
+    ``metrics`` (observability only — never part of the simulated
+    ledger) records open-page depth, per-level-pair sweep counts, and
+    candidate pairs tested versus emitted.
     """
     streams = [
         _page_stream(handle, level, order, _SIDE_A, stats)
@@ -56,29 +64,51 @@ def synchronized_scan(
         _page_stream(handle, level, order, _SIDE_B, stats)
         for level, handle in files_b.items()
     ]
-    # Open pages per side: (max interval end, x-sorted records).
-    open_a: list[tuple[int, list[Record]]] = []
-    open_b: list[tuple[int, list[Record]]] = []
+    # Open pages per side: (max interval end, x-sorted records, level).
+    open_a: list[tuple[int, list[Record], int]] = []
+    open_b: list[tuple[int, list[Record], int]] = []
     processed = 0
+    emitted = 0
+    tests_before = 0
+    if metrics is not None and stats is not None:
+        tests_before = stats.total.cpu_ops.get("mbr_test", 0)
 
-    for start, _tiebreak, max_end, side, records in heapq.merge(*streams):
+    for start, tiebreak, max_end, side, records in heapq.merge(*streams):
         _expire(open_a, start)
         _expire(open_b, start)
+        level = tiebreak[1]
+        if metrics is not None:
+            metrics.count("scan.pages", side="A" if side == _SIDE_A else "B")
+            metrics.observe("scan.open_pages", len(open_a) + len(open_b))
         if side == _SIDE_A:
-            for _, other_records in open_b:
+            for _, other_records, other_level in open_b:
+                if metrics is not None:
+                    metrics.count("scan.level_sweeps", a=level, b=other_level)
                 for rec_a, rec_b in sweep_intersections(
                     records, other_records, stats=stats, presorted=True
                 ):
                     on_pair(rec_a, rec_b)
-            open_a.append((max_end, records))
+                    emitted += 1
+            open_a.append((max_end, records, level))
         else:
-            for _, other_records in open_a:
+            for _, other_records, other_level in open_a:
+                if metrics is not None:
+                    metrics.count("scan.level_sweeps", a=other_level, b=level)
                 for rec_b, rec_a in sweep_intersections(
                     records, other_records, stats=stats, presorted=True
                 ):
                     on_pair(rec_a, rec_b)
-            open_b.append((max_end, records))
+                    emitted += 1
+            open_b.append((max_end, records, level))
         processed += 1
+
+    if metrics is not None:
+        metrics.count("scan.pairs_emitted", emitted)
+        if stats is not None:
+            metrics.count(
+                "scan.pairs_tested",
+                stats.total.cpu_ops.get("mbr_test", 0) - tests_before,
+            )
     return processed
 
 
@@ -107,12 +137,12 @@ def _page_stream(
         yield start, (side, level, page_no), max_end, side, records
 
 
-def _expire(open_pages: list[tuple[int, list[Record]]], start: int) -> None:
+def _expire(open_pages: list[tuple[int, list[Record], int]], start: int) -> None:
     """Drop pages none of whose intervals can reach the new start.
 
     Page max-ends are not nested (a page mixes cells), so this is a
     filter rather than a stack pop; the open set stays small because
     only pages holding large (low-level) entities persist.
     """
-    if any(end <= start for end, _ in open_pages):
+    if any(end <= start for end, _, _ in open_pages):
         open_pages[:] = [item for item in open_pages if item[0] > start]

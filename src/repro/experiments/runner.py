@@ -24,6 +24,8 @@ from repro.join.api import spatial_join
 from repro.join.dataset import SpatialDataset
 from repro.join.predicates import Intersects, JoinPredicate
 from repro.join.result import JoinResult
+from repro.obs import Observability
+from repro.obs.report import RunReport, build_run_report
 from repro.storage.manager import StorageConfig
 from repro.storage.records import EntityDescriptorCodec
 
@@ -57,6 +59,7 @@ class ExperimentResult:
     algorithm: str
     label: str
     result: JoinResult
+    report: RunReport | None = None
 
     @property
     def response_time(self) -> float:
@@ -91,9 +94,14 @@ def run_algorithm(
     label: str | None = None,
     predicate: JoinPredicate | None = None,
     scale: float = 1.0,
+    obs: Observability | None = None,
     **params: Any,
 ) -> ExperimentResult:
-    """Run one algorithm on one workload under paper conditions."""
+    """Run one algorithm on one workload under paper conditions.
+
+    With an enabled ``obs`` the returned :class:`ExperimentResult` also
+    carries a machine-readable :class:`~repro.obs.report.RunReport`.
+    """
     config = make_storage_config(dataset_a, dataset_b, scale=scale)
     result = spatial_join(
         dataset_a,
@@ -101,8 +109,17 @@ def run_algorithm(
         algorithm=algorithm,
         predicate=predicate or Intersects(),
         storage=config,
+        obs=obs,
         **params,
     )
+    report = None
+    if obs is not None and obs.enabled:
+        report = build_run_report(
+            result,
+            obs,
+            workload=f"{dataset_a.name}-{dataset_b.name}",
+            scale=scale,
+        )
     return ExperimentResult(
-        algorithm=algorithm, label=label or algorithm, result=result
+        algorithm=algorithm, label=label or algorithm, result=result, report=report
     )

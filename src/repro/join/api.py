@@ -23,6 +23,7 @@ from repro.join.base import SpatialJoinAlgorithm
 from repro.join.dataset import SpatialDataset
 from repro.join.predicates import Intersects, JoinPredicate
 from repro.join.result import JoinResult
+from repro.obs import Observability
 from repro.storage.manager import StorageConfig, StorageManager
 
 # Algorithms are resolved lazily (module path, class name) to keep the
@@ -82,6 +83,7 @@ def spatial_join(
     predicate: JoinPredicate | None = None,
     storage: StorageManager | StorageConfig | None = None,
     refine: bool = False,
+    obs: Observability | None = None,
     **params: Any,
 ) -> JoinResult:
     """Join two spatial data sets and return candidate (and optionally
@@ -90,6 +92,12 @@ def spatial_join(
     Passing the *same object* for both data sets runs a self join: the
     data set is joined against an identical copy of itself and mirrored
     pairs are canonicalized (section 5.2.1).
+
+    ``obs`` attaches an :class:`~repro.obs.Observability` (tracer +
+    metrics registry) to the run; it is observation only and never
+    changes a simulated ledger count.  An existing
+    :class:`StorageManager` already carries its own observability, so
+    passing both is a conflict and raises ``ValueError``.
 
     ``params`` are forwarded to the algorithm's constructor (e.g.
     ``tiles_per_dim=40`` for PBSM, ``dsb_level=8`` for S3J with
@@ -100,38 +108,54 @@ def spatial_join(
 
     owns_storage = not isinstance(storage, StorageManager)
     if isinstance(storage, StorageManager):
+        if obs is not None:
+            raise ValueError(
+                "pass obs either to spatial_join or to the StorageManager, "
+                "not both"
+            )
         manager = storage
     else:
         config = storage if isinstance(storage, StorageConfig) else None
-        manager = StorageManager(config or default_storage_config(dataset_a, dataset_b))
+        manager = StorageManager(
+            config or default_storage_config(dataset_a, dataset_b), obs=obs
+        )
 
+    tracer = manager.obs.tracer
     try:
-        # The "Hilbert values as part of the descriptors" option
-        # (section 3.1) needs the keys materialized in the base data.
-        curve = None
-        if params.get("hilbert_precomputed"):
-            from repro.curves.hilbert import HilbertCurve
+        with tracer.span(
+            "spatial_join", algorithm=algorithm, self_join=self_join
+        ) as root:
+            # The "Hilbert values as part of the descriptors" option
+            # (section 3.1) needs the keys materialized in the base data.
+            curve = None
+            if params.get("hilbert_precomputed"):
+                from repro.curves.hilbert import HilbertCurve
 
-            curve = params.get("curve") or HilbertCurve()
+                curve = params.get("curve") or HilbertCurve()
 
-        uid = next(_input_counter)
-        input_a = dataset_a.write_descriptors(
-            manager, f"input-A-{uid}", margin=predicate.mbr_margin, curve=curve
-        )
-        input_b = dataset_b.write_descriptors(
-            manager, f"input-B-{uid}", margin=predicate.mbr_margin, curve=curve
-        )
-        # Base data pre-exists the join: flush it and zero the ledger so
-        # the metrics cover only the join's own work.
-        manager.phase_boundary()
-        manager.stats.reset()
+            uid = next(_input_counter)
+            with tracer.span("setup", kind="setup"):
+                input_a = dataset_a.write_descriptors(
+                    manager, f"input-A-{uid}", margin=predicate.mbr_margin, curve=curve
+                )
+                input_b = dataset_b.write_descriptors(
+                    manager, f"input-B-{uid}", margin=predicate.mbr_margin, curve=curve
+                )
+                # Base data pre-exists the join: flush it and zero the
+                # ledger so the metrics cover only the join's own work.
+                manager.phase_boundary()
+                manager.stats.reset()
 
-        algo = make_algorithm(algorithm, manager, **params)
-        result = algo.join(input_a, input_b, self_join=self_join)
-        if refine:
-            entities_a = dataset_a.entity_by_id()
-            entities_b = entities_a if self_join else dataset_b.entity_by_id()
-            result.refine(predicate, entities_a, entities_b, stats=manager.stats)
+            algo = make_algorithm(algorithm, manager, **params)
+            result = algo.join(input_a, input_b, self_join=self_join)
+            if refine:
+                with tracer.span("refine", kind="refine"):
+                    entities_a = dataset_a.entity_by_id()
+                    entities_b = entities_a if self_join else dataset_b.entity_by_id()
+                    result.refine(
+                        predicate, entities_a, entities_b, stats=manager.stats
+                    )
+            root.set(candidate_pairs=len(result.pairs))
         return result
     finally:
         if owns_storage:

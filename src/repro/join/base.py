@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.join.metrics import JoinMetrics
 from repro.join.result import JoinResult, canonical_pairs
+from repro.storage.iostats import PhaseStats
 from repro.storage.manager import StorageManager
 from repro.storage.pagedfile import PagedFile
 
@@ -28,11 +31,33 @@ class SpatialJoinAlgorithm(ABC):
 
     def __init__(self, storage: StorageManager) -> None:
         self.storage = storage
+        self.obs = storage.obs
         self._run_id = next(_run_counter)
 
     def _file_name(self, suffix: str) -> str:
         """A collision-free per-run internal file name."""
         return f"{self.name}-{self._run_id}-{suffix}"
+
+    @contextmanager
+    def _phase(self, name: str) -> Iterator[PhaseStats]:
+        """Open one accounting phase *and* its tracing span together.
+
+        The ledger side is exactly ``stats.phase(name)`` — tracing on or
+        off never changes a simulated count.  When tracing is enabled,
+        the span additionally records the phase's simulated seconds as
+        the cost-model delta of the phase's own bucket, so nested phases
+        (e.g. PBSM repartitioning inside its join phase) attribute
+        simulated time the same way the ledger attributes counts: to the
+        innermost open phase.
+        """
+        tracer = self.obs.tracer
+        cost = self.storage.cost_model
+        with tracer.span(name, kind="phase") as span:
+            with self.storage.stats.phase(name) as bucket:
+                before = cost.response_time(bucket) if tracer.enabled else 0.0
+                yield bucket
+            if tracer.enabled:
+                span.set(simulated_s=cost.response_time(bucket) - before)
 
     @abstractmethod
     def run_filter_step(
@@ -54,16 +79,17 @@ class SpatialJoinAlgorithm(ABC):
         )
 
     def _build_metrics(self, **extra: object) -> JoinMetrics:
-        """Collect this run's phase stats from the storage ledger."""
-        stats = self.storage.stats
+        """Collect this run's phase stats from the storage ledger.
+
+        Buckets are deep-copied (:meth:`IOStats.phase_snapshot`), so the
+        metrics are frozen at collection time instead of aliasing the
+        live ledger; *every* recorded phase is included, declared in
+        :attr:`phase_names` or not, so extra instrumented sub-phases
+        cannot drop I/O from the totals."""
         return JoinMetrics(
             algorithm=self.name,
             phase_names=self.phase_names,
-            phases={
-                name: stats.phases[name]
-                for name in self.phase_names
-                if name in stats.phases
-            },
+            phases=self.storage.stats.phase_snapshot(),
             cost_model=self.storage.cost_model,
             details=dict(extra),
         )

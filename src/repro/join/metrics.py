@@ -35,6 +35,17 @@ class JoinMetrics:
     replication_b: float = 1.0
     details: dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def all_phase_names(self) -> tuple[str, ...]:
+        """The declared phase order, followed by any extra phases that
+        were recorded in :attr:`phases` (sorted).
+
+        Totals iterate this, not :attr:`phase_names`, so an
+        instrumented sub-phase an algorithm opened beyond its declared
+        Table 2 phases can never silently drop I/O from the totals."""
+        extras = sorted(set(self.phases) - set(self.phase_names))
+        return self.phase_names + tuple(extras)
+
     def phase_time(self, name: str) -> float:
         """Simulated seconds spent in one phase (0 for absent phases)."""
         stats = self.phases.get(name)
@@ -50,24 +61,20 @@ class JoinMetrics:
     @property
     def response_time(self) -> float:
         """Total simulated response time (sum over the phases)."""
-        return sum(self.phase_time(name) for name in self.phase_names)
+        return sum(self.phase_time(name) for name in self.all_phase_names)
 
     @property
     def total_ios(self) -> int:
         """Total physical page reads + writes across all phases."""
-        return sum(self.phase_ios(name) for name in self.phase_names)
+        return sum(self.phase_ios(name) for name in self.all_phase_names)
 
     @property
     def total_reads(self) -> int:
-        return sum(
-            self.phases[name].page_reads for name in self.phase_names if name in self.phases
-        )
+        return sum(stats.page_reads for stats in self.phases.values())
 
     @property
     def total_writes(self) -> int:
-        return sum(
-            self.phases[name].page_writes for name in self.phase_names if name in self.phases
-        )
+        return sum(stats.page_writes for stats in self.phases.values())
 
     @property
     def replication_total(self) -> float:
@@ -75,8 +82,9 @@ class JoinMetrics:
         return self.replication_a + self.replication_b
 
     def breakdown(self) -> dict[str, float]:
-        """Phase -> simulated seconds, in the algorithm's phase order."""
-        return {name: self.phase_time(name) for name in self.phase_names}
+        """Phase -> simulated seconds, in the algorithm's phase order
+        (plus any extra recorded phases)."""
+        return {name: self.phase_time(name) for name in self.all_phase_names}
 
     def describe(self) -> str:
         """A compact human-readable summary line."""
@@ -87,4 +95,33 @@ class JoinMetrics:
             f"{self.algorithm}: total={self.response_time:.2f}s "
             f"ios={self.total_ios} r_A={self.replication_a:.2f} "
             f"r_B={self.replication_b:.2f} [{phases}]"
+        )
+
+    # -- serialization (run reports) ------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; round-trips through :meth:`from_dict`."""
+        return {
+            "algorithm": self.algorithm,
+            "phase_names": list(self.phase_names),
+            "phases": {name: stats.to_dict() for name, stats in self.phases.items()},
+            "cost_model": self.cost_model.to_dict(),
+            "replication_a": self.replication_a,
+            "replication_b": self.replication_b,
+            "details": self.details,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> JoinMetrics:
+        return cls(
+            algorithm=data["algorithm"],
+            phase_names=tuple(data["phase_names"]),
+            phases={
+                str(name): PhaseStats.from_dict(stats)
+                for name, stats in data["phases"].items()
+            },
+            cost_model=CostModel.from_dict(data["cost_model"]),
+            replication_a=float(data["replication_a"]),
+            replication_b=float(data["replication_b"]),
+            details=dict(data["details"]),
         )

@@ -78,19 +78,34 @@ class ExternalSorter:
         unique: bool = False,
     ) -> SortResult:
         """Sort ``source`` into a new file named ``output_name``."""
-        codec = source.codec
-        run_names = self._form_runs(source, key, codec, unique)
-        initial_runs = len(run_names)
-        merge_passes = 0
-        while len(run_names) > 1:
-            run_names = self._merge_pass(run_names, key, codec, unique)
-            merge_passes += 1
-        if run_names:
-            final_name = run_names[0]
-        else:  # empty input: produce an empty output file
-            final_name = self._new_run_name()
-            self.storage.create_file(final_name, codec)
-        output = self._rename(final_name, output_name)
+        obs = self.storage.obs
+        with obs.tracer.span(f"sort:{output_name}", kind="sort") as span:
+            codec = source.codec
+            run_names = self._form_runs(source, key, codec, unique)
+            initial_runs = len(run_names)
+            merge_passes = 0
+            while len(run_names) > 1:
+                run_names = self._merge_pass(run_names, key, codec, unique)
+                merge_passes += 1
+            if run_names:
+                final_name = run_names[0]
+            else:  # empty input: produce an empty output file
+                final_name = self._new_run_name()
+                self.storage.create_file(final_name, codec)
+            output = self._rename(final_name, output_name)
+            span.set(
+                input_pages=source.num_pages,
+                initial_runs=initial_runs,
+                merge_passes=merge_passes,
+                fan_in=self.fan_in,
+            )
+        metrics = obs.active_metrics
+        if metrics is not None:
+            metrics.count("sort.sorts")
+            metrics.gauge("sort.fan_in", self.fan_in)
+            metrics.observe("sort.initial_runs", initial_runs)
+            metrics.observe("sort.merge_passes", merge_passes)
+            metrics.observe("sort.input_pages", source.num_pages)
         return SortResult(output=output, initial_runs=initial_runs, merge_passes=merge_passes)
 
     # -- internals --------------------------------------------------------

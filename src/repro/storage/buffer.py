@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.storage.backend import Record, StorageBackend
-from repro.storage.iostats import IOStats
+from repro.storage.iostats import IOStats, file_label
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class BufferPoolExhausted(RuntimeError):
@@ -41,12 +44,21 @@ class BufferPool:
     the backend.
     """
 
-    def __init__(self, backend: StorageBackend, capacity: int, stats: IOStats) -> None:
+    def __init__(
+        self,
+        backend: StorageBackend,
+        capacity: int,
+        stats: IOStats,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.backend = backend
         self.capacity = capacity
         self.stats = stats
+        # Observability only (hit/miss/eviction/write-back series);
+        # None skips the hooks. The simulated ledger lives in `stats`.
+        self.metrics = metrics
         self._frames: OrderedDict[tuple[str, int], Frame] = OrderedDict()
 
     def __len__(self) -> int:
@@ -60,10 +72,14 @@ class BufferPool:
         if frame is not None:
             self._frames.move_to_end(key)
             self.stats.record_hit()
+            if self.metrics is not None:
+                self.metrics.count("buffer.hits")
         else:
             self._make_room()
             records = self.backend.read_page(file_name, page_no)
             self.stats.record_read(file_name, page_no)
+            if self.metrics is not None:
+                self.metrics.count("buffer.misses")
             frame = Frame(records, dirty=False)
             self._frames[key] = frame
         frame.pins += 1
@@ -124,6 +140,10 @@ class BufferPool:
         if frame.dirty:
             self.backend.write_page(key[0], key[1], frame.records)
             self.stats.record_write(key[0], key[1])
+            if self.metrics is not None:
+                self.metrics.count("buffer.writebacks", file=file_label(key[0]))
+        if self.metrics is not None:
+            self.metrics.count("buffer.evictions", file=file_label(key[0]))
         del self._frames[key]
 
     def flush(self, file_name: str | None = None) -> None:
@@ -134,6 +154,8 @@ class BufferPool:
             if frame.dirty:
                 self.backend.write_page(name, page_no, frame.records)
                 self.stats.record_write(name, page_no)
+                if self.metrics is not None:
+                    self.metrics.count("buffer.writebacks", file=file_label(name))
                 frame.dirty = False
 
     def invalidate(self, file_name: str | None = None) -> None:

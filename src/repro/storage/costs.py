@@ -106,3 +106,30 @@ class CostModel:
     def response_time(self, stats: PhaseStats) -> float:
         """Simulated seconds: disk time plus CPU time."""
         return self.disk.time(stats) + self.cpu.time(stats)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready parameters (for serialized run reports)."""
+        return {
+            "disk": {
+                "random_access_time": self.disk.random_access_time,
+                "sequential_transfer_time": self.disk.sequential_transfer_time,
+            },
+            "cpu": {"op_costs": dict(self.cpu.op_costs)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> CostModel:
+        return cls(
+            disk=DiskModel(
+                random_access_time=float(data["disk"]["random_access_time"]),
+                sequential_transfer_time=float(
+                    data["disk"]["sequential_transfer_time"]
+                ),
+            ),
+            cpu=CpuModel(
+                op_costs={
+                    str(op): float(cost)
+                    for op, cost in data["cpu"]["op_costs"].items()
+                }
+            ),
+        )

@@ -11,7 +11,18 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+
+def file_label(file_name: str) -> str:
+    """The metric label for a file: anonymous sort runs collapse into
+    one ``__sort-run`` family so per-file series stay bounded."""
+    if file_name.startswith("__sort-run"):
+        return "__sort-run"
+    return file_name
 
 
 @dataclass
@@ -52,6 +63,34 @@ class PhaseStats:
         for op, count in self.cpu_ops.items():
             other.charge_cpu(op, count)
 
+    def copy(self) -> PhaseStats:
+        """An independent deep copy of this bucket."""
+        fresh = PhaseStats()
+        self.merged_into(fresh)
+        return fresh
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready counters (for :class:`~repro.obs.report.RunReport`)."""
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "random_reads": self.random_reads,
+            "random_writes": self.random_writes,
+            "buffer_hits": self.buffer_hits,
+            "cpu_ops": dict(self.cpu_ops),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> PhaseStats:
+        return cls(
+            page_reads=int(data["page_reads"]),
+            page_writes=int(data["page_writes"]),
+            random_reads=int(data["random_reads"]),
+            random_writes=int(data["random_writes"]),
+            buffer_hits=int(data["buffer_hits"]),
+            cpu_ops={str(op): int(n) for op, n in data["cpu_ops"].items()},
+        )
+
 
 class IOStats:
     """Ledger of physical I/O and counted CPU work, with phase breakdown.
@@ -65,7 +104,7 @@ class IOStats:
         print(stats.phases["partition"].total_ios)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self.total = PhaseStats()
         self.phases: dict[str, PhaseStats] = {}
         self._open: list[PhaseStats] = []
@@ -75,6 +114,13 @@ class IOStats:
         # readahead / append buffering).
         self._last_read: dict[str, int] = {}
         self._last_write: dict[str, int] = {}
+        # Observability only — never read by the ledger or cost model.
+        # None (the default) skips the hooks entirely; run lengths track
+        # the current sequential streak per file for the transfer
+        # histograms.
+        self.metrics = metrics
+        self._read_run: dict[str, int] = {}
+        self._write_run: dict[str, int] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
@@ -104,6 +150,10 @@ class IOStats:
             bucket.page_reads += 1
             if random:
                 bucket.random_reads += 1
+        if self.metrics is not None:
+            self._observe_transfer(
+                "io.reads", "io.read_run_pages", self._read_run, file_name, random
+            )
 
     def record_write(self, file_name: str, page_no: int) -> None:
         """Record one physical page write (sequential/random as above)."""
@@ -113,6 +163,32 @@ class IOStats:
             bucket.page_writes += 1
             if random:
                 bucket.random_writes += 1
+        if self.metrics is not None:
+            self._observe_transfer(
+                "io.writes", "io.write_run_pages", self._write_run, file_name, random
+            )
+
+    def _observe_transfer(
+        self,
+        counter: str,
+        run_histogram: str,
+        runs: dict[str, int],
+        file_name: str,
+        random: bool,
+    ) -> None:
+        """Per-file transfer metrics: sequential/random counters plus a
+        histogram of completed sequential run lengths (a new random
+        transfer ends the previous streak)."""
+        label = file_label(file_name)
+        kind = "random" if random else "sequential"
+        self.metrics.count(counter, file=label, kind=kind)
+        if random:
+            streak = runs.get(file_name, 0)
+            if streak:
+                self.metrics.observe(run_histogram, streak, file=label)
+            runs[file_name] = 1
+        else:
+            runs[file_name] = runs.get(file_name, 0) + 1
 
     def record_hit(self) -> None:
         """Record a buffer pool hit (a logical access with no transfer)."""
@@ -148,3 +224,11 @@ class IOStats:
         copy = PhaseStats()
         self.total.merged_into(copy)
         return copy
+
+    def phase_snapshot(self) -> dict[str, PhaseStats]:
+        """Independent deep copies of every per-phase bucket.
+
+        Unlike reaching into :attr:`phases` directly, mutating the
+        returned buckets (or their ``cpu_ops`` dicts) never aliases the
+        live ledger — this is what metrics collection must use."""
+        return {name: bucket.copy() for name, bucket in self.phases.items()}

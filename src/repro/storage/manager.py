@@ -5,6 +5,7 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 
+from repro.obs import NULL_OBS, Observability
 from repro.storage.backend import FileBackend, MemoryBackend, StorageBackend
 from repro.storage.buffer import BufferPool
 from repro.storage.costs import CostModel
@@ -43,13 +44,25 @@ class StorageManager:
             ...
     """
 
-    def __init__(self, config: StorageConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: StorageConfig | None = None,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config or StorageConfig()
-        self.stats = IOStats()
+        # Observability is opt-in: NULL_OBS (the default) is a no-op
+        # tracer plus registry, and the low-level hooks are handed None
+        # so instrumentation costs nothing when disabled.  Enabled or
+        # not, the simulated ledger records the same counts.
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.active_metrics
+        self.stats = IOStats(metrics=metrics)
         self.cost_model = self.config.cost_model
         self._tempdir: tempfile.TemporaryDirectory[str] | None = None
         self.backend = self._make_backend()
-        self.pool = BufferPool(self.backend, self.config.buffer_pages, self.stats)
+        self.pool = BufferPool(
+            self.backend, self.config.buffer_pages, self.stats, metrics=metrics
+        )
         self._files: dict[str, PagedFile] = {}
 
     def _make_backend(self) -> StorageBackend:

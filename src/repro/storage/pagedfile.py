@@ -6,6 +6,7 @@ import itertools
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.storage.backend import Record
+from repro.storage.iostats import file_label
 from repro.storage.records import RecordCodec
 
 if TYPE_CHECKING:
@@ -31,6 +32,9 @@ class PagedFile:
         self.num_pages = 0
         self.num_records = 0
         self._tail_count = 0  # records in the last page
+        # Observability only; None disables the per-file hooks.
+        self._metrics = pool.metrics
+        self._metric_label = file_label(name)
 
     def __repr__(self) -> str:
         return (
@@ -56,6 +60,8 @@ class PagedFile:
         frame.records.append(record)
         self._tail_count += 1
         self.num_records += 1
+        if self._metrics is not None:
+            self._metrics.count("file.records_appended", file=self._metric_label)
         self.pool.unpin(self.name, self.num_pages - 1, dirty=True)
 
     def extend(self, records: Iterable[Record]) -> None:
@@ -97,6 +103,13 @@ class PagedFile:
             self._tail_count += len(chunk)
             self.num_records += len(chunk)
             hits += len(chunk) - 1
+            if self._metrics is not None:
+                self._metrics.count(
+                    "file.records_appended", len(chunk), file=self._metric_label
+                )
+                self._metrics.observe(
+                    "file.extend_chunk_records", len(chunk), file=self._metric_label
+                )
             self.pool.unpin(self.name, self.num_pages - 1, dirty=True)
         self.pool.stats.record_hits(hits)
 

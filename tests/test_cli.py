@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.report import RunReport
 
 
 class TestParser:
@@ -60,3 +63,60 @@ class TestCommands:
         assert main(["table4", "--only", "UN1-UN2", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "UN1-UN2" in out
+
+
+class TestObservabilityFlags:
+    def test_report_to_stdout_is_pure_json(self, capsys):
+        assert main(
+            ["join", "--workload", "UN1-UN2", "--scale", "0.02", "--report", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        report = RunReport.from_json(out)  # would raise on any non-JSON noise
+        assert report.algorithm == "s3j"
+        assert report.pairs > 0
+        for phase in ("partition", "sort", "join"):
+            assert phase in report.metrics.phases
+            assert report.phase_wall.get(phase, 0.0) > 0.0
+
+    def test_report_and_trace_files(self, capsys, tmp_path):
+        report_path = tmp_path / "run.report.json"
+        trace_path = tmp_path / "run.trace.json"
+        assert main(
+            [
+                "join",
+                "--algorithm",
+                "pbsm",
+                "--workload",
+                "UN1-UN2",
+                "--scale",
+                "0.02",
+                "--report",
+                str(report_path),
+                "--trace",
+                str(trace_path),
+            ]
+        ) == 0
+        assert "pairs" in capsys.readouterr().out  # summary still printed
+        report = RunReport.load(str(report_path))
+        assert report.algorithm == "pbsm"
+        trace = json.loads(trace_path.read_text())
+        events = trace["traceEvents"]
+        assert events and all(event["ph"] == "X" for event in events)
+        assert {event["name"] for event in events} >= {"partition", "join"}
+
+    def test_no_flags_no_observability(self, capsys):
+        assert main(["join", "--workload", "UN1-UN2", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)
+
+    def test_table4_json_round_trips(self, capsys):
+        assert main(
+            ["table4", "--only", "UN1-UN2", "--scale", "0.02", "--json"]
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["workload"] == "UN1-UN2"
+        assert {"s3j", "pbsm_small", "pbsm_large", "shj"} <= set(row)
+        assert json.loads(json.dumps(rows)) == rows

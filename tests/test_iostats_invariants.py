@@ -1,0 +1,120 @@
+"""Ledger invariants of :class:`repro.storage.iostats.IOStats`.
+
+Two properties the rest of the system leans on:
+
+1. **Snapshot isolation** — :meth:`IOStats.phase_snapshot` returns deep
+   copies; neither direction of mutation leaks through (metrics built
+   from a snapshot must be frozen at collection time, not aliases of
+   the live ledger).
+2. **Buckets sum to total** — with arbitrarily nested phases, every
+   recorded quantity is attributed to exactly one per-phase bucket
+   (the innermost open one), so the buckets always sum to the grand
+   total.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.iostats import IOStats, PhaseStats
+
+
+class TestPhaseSnapshotIsolation:
+    def _ledger_with_work(self) -> IOStats:
+        stats = IOStats()
+        with stats.phase("partition"):
+            stats.record_read("f", 0)
+            stats.record_write("f", 0)
+            stats.record_hit()
+            stats.charge_cpu("hilbert", 3)
+        return stats
+
+    def test_mutating_snapshot_leaves_ledger_intact(self):
+        stats = self._ledger_with_work()
+        reference = stats.phases["partition"].copy()
+        snapshot = stats.phase_snapshot()
+        snapshot["partition"].page_reads += 100
+        snapshot["partition"].cpu_ops["hilbert"] += 100
+        snapshot["partition"].cpu_ops["injected"] = 1
+        assert stats.phases["partition"] == reference
+
+    def test_later_recording_leaves_snapshot_intact(self):
+        stats = self._ledger_with_work()
+        snapshot = stats.phase_snapshot()
+        reference = snapshot["partition"].copy()
+        with stats.phase("partition"):
+            stats.record_read("f", 7)
+            stats.charge_cpu("hilbert", 9)
+        assert snapshot["partition"] == reference
+        assert stats.phases["partition"] != reference
+
+    def test_snapshot_covers_every_recorded_phase(self):
+        stats = self._ledger_with_work()
+        with stats.phase("extra"):
+            stats.record_hit()
+        assert set(stats.phase_snapshot()) == {"partition", "extra"}
+
+
+# A random "program": a list of items, each either one ledger operation
+# or a nested (phase name, sub-program) block.  The whole program runs
+# inside a top-level phase, so every operation lands in some bucket.
+_OPS = st.sampled_from(["read", "write", "hit", "cpu"])
+_PHASE_NAMES = st.sampled_from(["partition", "sort", "join", "extra"])
+_PROGRAMS = st.recursive(
+    st.lists(_OPS, max_size=8),
+    lambda sub: st.lists(st.one_of(_OPS, st.tuples(_PHASE_NAMES, sub)), max_size=6),
+    max_leaves=40,
+)
+
+
+def _run_program(stats: IOStats, program: list, cursor: list[int]) -> None:
+    for item in program:
+        if isinstance(item, tuple):
+            name, sub = item
+            with stats.phase(name):
+                _run_program(stats, sub, cursor)
+            continue
+        index = cursor[0]
+        cursor[0] += 1
+        if item == "read":
+            # Page numbers jump around two files: a mix of sequential
+            # and random transfers.
+            stats.record_read(f"f{index % 2}", (index * 7) % 5)
+        elif item == "write":
+            stats.record_write(f"f{index % 2}", (index * 3) % 4)
+        elif item == "hit":
+            stats.record_hit()
+        else:
+            stats.charge_cpu(f"op{index % 3}", 1 + index % 4)
+
+
+def _sum_buckets(buckets: dict[str, PhaseStats]) -> PhaseStats:
+    merged = PhaseStats()
+    for bucket in buckets.values():
+        bucket.merged_into(merged)
+    return merged
+
+
+@given(program=_PROGRAMS, top=_PHASE_NAMES)
+def test_phase_buckets_sum_to_total(program, top):
+    stats = IOStats()
+    with stats.phase(top):
+        _run_program(stats, program, cursor=[0])
+    assert _sum_buckets(stats.phases) == stats.total
+
+
+@given(program=_PROGRAMS)
+def test_operations_outside_phases_count_only_toward_total(program):
+    """Without an open phase no bucket exists, but the total still
+    counts — so buckets-sum-to-total holds exactly for the in-phase
+    portion of the work."""
+    stats = IOStats()
+    _run_program(stats, program, cursor=[0])
+    in_phase = _sum_buckets(stats.phases)
+    assert in_phase.page_reads <= stats.total.page_reads
+    assert in_phase.page_writes <= stats.total.page_writes
+    assert in_phase.buffer_hits <= stats.total.buffer_hits
+    has_toplevel_op = any(not isinstance(item, tuple) for item in program)
+    if not has_toplevel_op:
+        assert in_phase == stats.total

@@ -1,0 +1,90 @@
+"""Tests for :class:`repro.join.metrics.JoinMetrics` totals and
+serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.join.metrics import JoinMetrics
+from repro.storage.costs import CostModel
+from repro.storage.iostats import PhaseStats
+
+
+def _metrics(phases: dict[str, PhaseStats]) -> JoinMetrics:
+    return JoinMetrics(
+        algorithm="s3j",
+        phase_names=("partition", "sort", "join"),
+        phases=phases,
+        cost_model=CostModel(),
+    )
+
+
+def _bucket(reads: int, writes: int, **cpu: int) -> PhaseStats:
+    bucket = PhaseStats(page_reads=reads, page_writes=writes)
+    for op, count in cpu.items():
+        bucket.charge_cpu(op, count)
+    return bucket
+
+
+class TestTotalsIncludeExtraPhases:
+    """Phases recorded beyond the declared Table 2 names (for example an
+    instrumented sub-phase) must never drop out of the totals."""
+
+    def test_total_reads_and_writes(self):
+        metrics = _metrics(
+            {
+                "partition": _bucket(10, 5),
+                "join": _bucket(7, 3),
+                "warmup": _bucket(2, 1),  # not in phase_names
+            }
+        )
+        assert metrics.total_reads == 19
+        assert metrics.total_writes == 9
+        assert metrics.total_ios == 28
+
+    def test_response_time_and_breakdown(self):
+        metrics = _metrics(
+            {
+                "partition": _bucket(10, 5),
+                "warmup": _bucket(2, 1),
+            }
+        )
+        assert metrics.all_phase_names == ("partition", "sort", "join", "warmup")
+        breakdown = metrics.breakdown()
+        assert list(breakdown) == ["partition", "sort", "join", "warmup"]
+        assert breakdown["warmup"] > 0.0
+        assert metrics.response_time == pytest.approx(sum(breakdown.values()))
+
+    def test_declared_but_absent_phases_cost_nothing(self):
+        metrics = _metrics({"partition": _bucket(1, 1)})
+        assert metrics.phase_time("sort") == 0.0
+        assert metrics.phase_ios("join") == 0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        metrics = _metrics(
+            {
+                "partition": _bucket(10, 5, hilbert=100, level=100),
+                "join": _bucket(7, 3, mbr_test=250),
+            }
+        )
+        metrics.replication_b = 1.25
+        metrics.details["dsb_filtered"] = 42
+        restored = JoinMetrics.from_dict(metrics.to_dict())
+        assert restored.algorithm == metrics.algorithm
+        assert restored.phase_names == metrics.phase_names
+        assert restored.phases == metrics.phases
+        assert restored.replication_b == 1.25
+        assert restored.details == {"dsb_filtered": 42}
+        assert restored.response_time == pytest.approx(metrics.response_time)
+        assert restored.to_dict() == metrics.to_dict()
+
+    def test_cost_model_round_trip_prices_identically(self):
+        bucket = _bucket(100, 50, compare=1000)
+        bucket.random_reads = 30
+        metrics = _metrics({"partition": bucket})
+        restored = JoinMetrics.from_dict(metrics.to_dict())
+        assert restored.phase_time("partition") == pytest.approx(
+            metrics.phase_time("partition")
+        )

@@ -74,10 +74,11 @@ ALGORITHMS = {
 }
 
 
-def execute(factory, dataset_a, dataset_b, batch_size, buffer_pages=32):
+def execute(factory, dataset_a, dataset_b, batch_size, buffer_pages=32, obs=None):
     """One full join run on a fresh storage manager; returns everything
-    parity must hold over."""
-    with StorageManager(StorageConfig(buffer_pages=buffer_pages)) as storage:
+    parity must hold over.  ``obs`` optionally attaches observability —
+    by construction it must not change any returned quantity."""
+    with StorageManager(StorageConfig(buffer_pages=buffer_pages), obs=obs) as storage:
         curve = HilbertCurve()
         file_a = dataset_a.write_descriptors(storage, "in-a", curve=curve)
         file_b = dataset_b.write_descriptors(storage, "in-b", curve=curve)
@@ -155,6 +156,26 @@ def test_s3j_level_files_bit_identical():
     assert sum(len(records) for records in reference.values()) == 500
     for batch_size in BATCH_SIZES:
         assert partition_once(batch_size) == reference, f"bs={batch_size}"
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_parity_holds_with_tracing_enabled(algorithm):
+    """Observability is pure observation: the batched-vs-scalar parity
+    contract holds identically with tracing and metrics turned on, and
+    the traced ledger matches the untraced one bit for bit."""
+    from repro.obs import Observability
+
+    dataset_a, dataset_b = WORKLOADS["uniform"]()
+    factory = ALGORITHMS[algorithm]
+    scalar = execute(
+        factory, dataset_a, dataset_b, batch_size=None, obs=Observability()
+    )
+    batched = execute(
+        factory, dataset_a, dataset_b, batch_size=64, obs=Observability()
+    )
+    assert_parity(scalar, batched, f"{algorithm}/traced")
+    untraced = execute(factory, dataset_a, dataset_b, batch_size=64)
+    assert_parity(untraced, batched, f"{algorithm}/traced-vs-untraced")
 
 
 def test_dsb_filter_counts_match():
