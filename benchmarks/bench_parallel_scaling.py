@@ -1,0 +1,131 @@
+"""E-PAR — wall-clock scaling of the Hilbert-sharded parallel join.
+
+Runs every algorithm on one uniform workload serially and sharded with
+1, 2, and 4 workers, verifying the executor's contract while timing:
+
+- the sharded pair set equals the serial pair set for every worker
+  count;
+- the merged :class:`~repro.join.metrics.JoinMetrics` are byte-
+  identical across worker counts (the worker count may change
+  wall-clock only);
+- the merged ledger equals the sum of the per-shard ledgers.
+
+Emits ``BENCH_parallel_scaling.json`` with the wall-clock per
+(algorithm, worker count) so CI uploads the scaling numbers::
+
+    python -m benchmarks.bench_parallel_scaling [--entities 20000]
+
+Note the *simulated* response time does not change with workers — the
+cost model describes the paper's single-disk 1997 testbed.  What
+parallelism buys here is real Python wall-clock on the host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.join.api import spatial_join
+from repro.obs.report import TABLE2_PHASES
+from repro.parallel import parallel_spatial_join
+
+from benchmarks.artifacts import write_bench_artifact
+from tests.conftest import make_squares
+
+WORKER_COUNTS = (1, 2, 4)
+NUM_ENTITIES = int(os.environ.get("REPRO_PARALLEL_N", "20000"))
+
+
+def bench_algorithm(algorithm: str, entities: int) -> tuple[dict, list[str]]:
+    """Time one algorithm serial + sharded; return (row, failures)."""
+    dataset_a = make_squares(entities, 0.002, seed=20260806, name="par-A")
+    dataset_b = make_squares(entities, 0.003, seed=20260807, name="par-B")
+
+    start = time.perf_counter()
+    serial = spatial_join(dataset_a, dataset_b, algorithm=algorithm)
+    serial_s = time.perf_counter() - start
+
+    failures: list[str] = []
+    row: dict = {
+        "algorithm": algorithm,
+        "entities": 2 * entities,
+        "serial_wall_s": serial_s,
+        "pairs": len(serial.pairs),
+        "workers": {},
+    }
+    reference_metrics: dict | None = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        sharded = parallel_spatial_join(
+            dataset_a, dataset_b, algorithm=algorithm, workers=workers
+        )
+        elapsed = time.perf_counter() - start
+        if sharded.pairs != serial.pairs:
+            failures.append(
+                f"{algorithm} workers={workers}: {len(sharded.pairs)} pairs "
+                f"!= serial {len(serial.pairs)}"
+            )
+        metrics = sharded.metrics.to_dict()
+        if reference_metrics is None:
+            reference_metrics = metrics
+        elif metrics != reference_metrics:
+            failures.append(
+                f"{algorithm} workers={workers}: merged metrics differ from "
+                f"workers={WORKER_COUNTS[0]}"
+            )
+        shard_ios = sum(
+            shard["total_ios"] for shard in sharded.metrics.details["shards"]
+        )
+        if sharded.metrics.total_ios != shard_ios:
+            failures.append(
+                f"{algorithm} workers={workers}: merged ledger "
+                f"{sharded.metrics.total_ios} != shard sum {shard_ios}"
+            )
+        row["workers"][str(workers)] = {
+            "wall_s": elapsed,
+            "speedup_vs_1worker": None,  # filled below
+            "total_ios": sharded.metrics.total_ios,
+            "sub_joins": sharded.metrics.details["plan"]["tasks"],
+        }
+    base = row["workers"][str(WORKER_COUNTS[0])]["wall_s"]
+    for entry in row["workers"].values():
+        entry["speedup_vs_1worker"] = base / entry["wall_s"]
+    return row, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--entities", type=int, default=NUM_ENTITIES)
+    args = parser.parse_args(argv)
+
+    rows = []
+    failures: list[str] = []
+    for algorithm in sorted(TABLE2_PHASES):
+        row, algo_failures = bench_algorithm(algorithm, args.entities)
+        rows.append(row)
+        failures.extend(algo_failures)
+        timings = "  ".join(
+            f"{workers}w={entry['wall_s']:.2f}s"
+            for workers, entry in row["workers"].items()
+        )
+        print(
+            f"{algorithm:<5} pairs={row['pairs']:<8} "
+            f"serial={row['serial_wall_s']:.2f}s  {timings}"
+        )
+
+    path = write_bench_artifact(
+        "parallel_scaling",
+        {"entities_per_side": args.entities, "worker_counts": list(WORKER_COUNTS), "rows": rows},
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"parallel scaling OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,8 @@ import sys
 from pathlib import Path
 
 from repro.cli import main as repro_main
+from repro.experiments.runner import run_algorithm
+from repro.experiments.workloads import workload_by_name
 from repro.obs.report import TABLE2_PHASES, RunReport
 
 WORKLOAD = "UN1-UN2"
@@ -70,6 +72,36 @@ def run_one(algorithm: str, out_dir: Path, scale: float) -> list[str]:
     return failures
 
 
+def run_sharded(algorithm: str, scale: float) -> list[str]:
+    """Run one 2-worker sharded join; fail on any divergence from the
+    serial pair set (count alone could mask compensating errors)."""
+    workload = workload_by_name(WORKLOAD)
+    dataset_a, dataset_b = workload.datasets(scale)
+    predicate = workload.predicate()
+    serial = run_algorithm(
+        dataset_a, dataset_b, algorithm, predicate=predicate, scale=scale
+    )
+    sharded = run_algorithm(
+        dataset_a, dataset_b, algorithm, predicate=predicate, scale=scale, workers=2
+    )
+    failures: list[str] = []
+    if sharded.result.pairs != serial.result.pairs:
+        failures.append(
+            f"{algorithm}: sharded (--workers 2) found "
+            f"{len(sharded.result.pairs)} pairs, serial found "
+            f"{len(serial.result.pairs)}"
+        )
+    plan = sharded.result.metrics.details.get("plan")
+    if not plan or plan["tasks"] < 1:
+        failures.append(f"{algorithm}: sharded run reports no shard plan")
+    print(
+        f"sharded {algorithm}: {len(sharded.result.pairs):,} pairs over "
+        f"{plan['tasks'] if plan else 0} sub-joins (= serial: "
+        f"{sharded.result.pairs == serial.result.pairs})"
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out-dir", default="bench-artifacts")
@@ -82,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
     for algorithm in sorted(TABLE2_PHASES):
         print(f"=== smoke: {algorithm} ===")
         failures.extend(run_one(algorithm, out_dir, args.scale))
+        failures.extend(run_sharded(algorithm, args.scale))
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

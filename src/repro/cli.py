@@ -61,6 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--tiles", type=int, default=None, help="PBSM tiles per dimension"
     )
     join.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run the join sharded by Hilbert range on N worker processes",
+    )
+    join.add_argument(
+        "--shard-level",
+        type=int,
+        default=None,
+        help="Filter-Tree level k of the 4^k shard grid (default: from --workers)",
+    )
+    join.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -112,6 +124,8 @@ def cmd_join(args: argparse.Namespace) -> int:
         predicate=workload.predicate(),
         scale=scale,
         obs=obs,
+        workers=args.workers,
+        shard_level=args.shard_level,
         **params,
     )
     metrics = run.result.metrics
@@ -121,6 +135,12 @@ def cmd_join(args: argparse.Namespace) -> int:
     else:
         print(f"workload  : {workload.name} (figure {workload.figure}, scale {scale})")
         print(f"algorithm : {args.algorithm}")
+        if metrics.details.get("parallel"):
+            plan = metrics.details["plan"]
+            print(
+                f"sharding  : {args.workers} workers, level {plan['shard_level']} "
+                f"({plan['cells']} cells + residual, {plan['tasks']} sub-joins)"
+            )
         print(f"pairs     : {len(run.result.pairs):,}")
         print(f"page I/Os : {metrics.total_ios:,}")
         print(f"r_A / r_B : {metrics.replication_a:.2f} / {metrics.replication_b:.2f}")

@@ -95,12 +95,17 @@ def run_algorithm(
     predicate: JoinPredicate | None = None,
     scale: float = 1.0,
     obs: Observability | None = None,
+    workers: int = 1,
+    shard_level: int | None = None,
     **params: Any,
 ) -> ExperimentResult:
     """Run one algorithm on one workload under paper conditions.
 
     With an enabled ``obs`` the returned :class:`ExperimentResult` also
     carries a machine-readable :class:`~repro.obs.report.RunReport`.
+    ``workers``/``shard_level`` select the sharded parallel executor
+    (:mod:`repro.parallel`); the per-shard storage managers all use
+    this experiment's paper-faithful configuration.
     """
     config = make_storage_config(dataset_a, dataset_b, scale=scale)
     result = spatial_join(
@@ -110,6 +115,8 @@ def run_algorithm(
         predicate=predicate or Intersects(),
         storage=config,
         obs=obs,
+        workers=workers,
+        shard_level=shard_level,
         **params,
     )
     report = None

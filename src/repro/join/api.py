@@ -25,6 +25,7 @@ from repro.join.predicates import Intersects, JoinPredicate
 from repro.join.result import JoinResult
 from repro.obs import Observability
 from repro.storage.manager import StorageConfig, StorageManager
+from repro.storage.records import EntityDescriptorCodec
 
 # Algorithms are resolved lazily (module path, class name) to keep the
 # join framework importable from the algorithm modules themselves.
@@ -64,16 +65,23 @@ def default_storage_config(
     dataset_a: SpatialDataset,
     dataset_b: SpatialDataset,
     memory_fraction: float = DEFAULT_MEMORY_FRACTION,
+    page_size: int | None = None,
 ) -> StorageConfig:
     """A storage configuration with the paper's memory sizing: buffer
-    space equal to ``memory_fraction`` of the combined input size."""
-    config = StorageConfig()
-    per_page = 4096 // 48  # descriptors per default page
+    space equal to ``memory_fraction`` of the combined input size.
+
+    ``E`` (descriptors per page) is derived from the actual page size
+    and the descriptor codec's record size, so the 10%-of-input sizing
+    tracks non-default page sizes instead of assuming 4 KB pages.
+    """
+    if page_size is None:
+        page_size = StorageConfig().page_size
+    per_page = EntityDescriptorCodec().records_per_page(page_size)
     pages = math.ceil(len(dataset_a) / per_page) + math.ceil(
         len(dataset_b) / per_page
     )
     buffer_pages = max(16, math.ceil(memory_fraction * pages))
-    return StorageConfig(buffer_pages=buffer_pages)
+    return StorageConfig(page_size=page_size, buffer_pages=buffer_pages)
 
 
 def spatial_join(
@@ -84,6 +92,8 @@ def spatial_join(
     storage: StorageManager | StorageConfig | None = None,
     refine: bool = False,
     obs: Observability | None = None,
+    workers: int = 1,
+    shard_level: int | None = None,
     **params: Any,
 ) -> JoinResult:
     """Join two spatial data sets and return candidate (and optionally
@@ -92,6 +102,12 @@ def spatial_join(
     Passing the *same object* for both data sets runs a self join: the
     data set is joined against an identical copy of itself and mirrored
     pairs are canonicalized (section 5.2.1).
+
+    ``workers > 1`` (or an explicit ``shard_level``) runs the join
+    sharded by Hilbert key range on that many worker processes (see
+    :mod:`repro.parallel`); results and merged metrics are identical
+    for every worker count.  Sharded runs build per-shard storage, so
+    ``storage`` must then be a :class:`StorageConfig` or ``None``.
 
     ``obs`` attaches an :class:`~repro.obs.Observability` (tracer +
     metrics registry) to the run; it is observation only and never
@@ -103,6 +119,27 @@ def spatial_join(
     ``tiles_per_dim=40`` for PBSM, ``dsb_level=8`` for S3J with
     filtering).
     """
+    if workers != 1 or shard_level is not None:
+        from repro.parallel.executor import parallel_spatial_join
+
+        if isinstance(storage, StorageManager):
+            raise ValueError(
+                "a sharded join (workers/shard_level) builds one storage "
+                "manager per shard; pass a StorageConfig instead"
+            )
+        return parallel_spatial_join(
+            dataset_a,
+            dataset_b,
+            algorithm=algorithm,
+            predicate=predicate,
+            storage=storage,
+            refine=refine,
+            obs=obs,
+            workers=workers,
+            shard_level=shard_level,
+            **params,
+        )
+
     predicate = predicate or Intersects()
     self_join = dataset_a is dataset_b
 

@@ -23,6 +23,19 @@ from repro.geometry.rect import Rect
 from repro.join.api import spatial_join
 from repro.join.dataset import SpatialDataset
 from repro.join.metrics import JoinMetrics
+from repro.storage.costs import CostModel
+
+
+def empty_stage_metrics(algorithm: str) -> JoinMetrics:
+    """Metrics for a pipeline stage that was never executed because its
+    input was already empty: no phases, no I/O, zero response time."""
+    return JoinMetrics(
+        algorithm=algorithm,
+        phase_names=(),
+        phases={},
+        cost_model=CostModel(),
+        details={"empty_stage": True},
+    )
 
 
 def spatial_multiway_join(
@@ -34,7 +47,11 @@ def spatial_multiway_join(
 
     Returns the set of id-tuples ``(e_1, ..., e_k)`` — one id per input
     data set — whose MBRs share at least one common point, plus the
-    metrics of each pipeline stage.
+    metrics of each pipeline stage.  There is always exactly one
+    metrics entry per planned stage (``k - 1`` of them), so callers can
+    zip the list with the inputs; stages whose input pipeline was
+    already empty report explicit zero metrics
+    (:func:`empty_stage_metrics`) instead of being dropped.
 
     The plan is left-deep: ``((D1 x D2) x D3) x ...``; every
     intermediate result is re-partitioned from scratch by the chosen
@@ -58,7 +75,10 @@ def spatial_multiway_join(
     # Later stages: intermediate entities carry the common region.
     for dataset in datasets[2:]:
         if not tuples:
-            break
+            # The pipeline already emptied: the stage runs no join, but
+            # still reports (zero) metrics so metrics stay one-per-stage.
+            metrics.append(empty_stage_metrics(algorithm))
+            continue
         intermediate = SpatialDataset(
             "intermediate",
             [Entity(iid, region) for iid, (_, region) in tuples.items()],

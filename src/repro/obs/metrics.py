@@ -66,6 +66,18 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: Histogram) -> None:
+        """Fold another histogram's samples into this one (exact: the
+        summary is closed under merging)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for key, count in other.buckets.items():
+            self.buckets[key] = self.buckets.get(key, 0) + count
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -149,6 +161,21 @@ class MetricsRegistry:
                 key: hist.as_dict() for key, hist in self.histograms.items()
             },
         }
+
+    def merge_dump(self, dump: dict[str, Any]) -> None:
+        """Fold an :meth:`as_dict` dump (e.g. from a worker process)
+        into this registry: counters add, histograms merge exactly,
+        gauges take the dump's value (merge dumps in a deterministic
+        order so the surviving gauge is deterministic too)."""
+        for key, value in dump["counters"].items():
+            self.counters[key] = self.counters.get(key, 0) + int(value)
+        for key, value in dump["gauges"].items():
+            self.gauges[key] = float(value)
+        for key, data in dump["histograms"].items():
+            hist = self.histograms.get(key)
+            if hist is None:
+                hist = self.histograms[key] = Histogram()
+            hist.merge(Histogram.from_dict(data))
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> MetricsRegistry:

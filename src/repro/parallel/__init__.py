@@ -1,0 +1,31 @@
+"""repro.parallel — Hilbert-range sharded parallel join execution.
+
+The paper's size-separation invariant (a level-``l`` entity lives in
+exactly one level-``l`` cell, and cells across levels are nested or
+disjoint) makes the spatial join shardable by Hilbert key range with
+**no replication**: route every entity whose level is at least the
+shard level ``k`` to its level-``k`` ancestor cell (one of ``4^k``
+contiguous key ranges), and the few large entities above the shard
+level to a single *residual* shard.  Disjoint cells cannot contribute
+result pairs, so the full join is exactly the union of the per-cell
+sub-joins plus the residual cross joins (see DESIGN.md section 9).
+
+- :mod:`repro.parallel.planner` — routes entities and plans the
+  sub-joins (:class:`ShardPlan` / :class:`ShardTask`).
+- :mod:`repro.parallel.executor` — runs the sub-joins in worker
+  processes (or serially in-process) and deterministically merges pair
+  sets, ledgers, and observability output.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.planner import ShardPlan, ShardTask, default_shard_level, plan_shards
+from repro.parallel.executor import parallel_spatial_join
+
+__all__ = [
+    "ShardPlan",
+    "ShardTask",
+    "default_shard_level",
+    "parallel_spatial_join",
+    "plan_shards",
+]

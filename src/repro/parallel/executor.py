@@ -1,0 +1,306 @@
+"""The sharded join executor: run a :class:`ShardPlan` and merge.
+
+Each :class:`~repro.parallel.planner.ShardTask` is one complete,
+independent spatial join — the worker runs the *unmodified* algorithm
+(:func:`repro.join.api.spatial_join`) over the shard's datasets with
+its own :class:`~repro.storage.manager.StorageManager`, ledger, and
+observability, and ships back a picklable summary (sorted pairs, the
+metrics dict, metric series, span trees).
+
+Determinism: the plan is a pure function of the inputs and the shard
+level (never of the worker count), tasks are submitted and merged in
+plan order, and every merged quantity (pair set, per-phase ledger sums,
+weighted replication factors, the details dict) is computed from the
+per-shard summaries alone — so a run with ``workers=4`` returns metrics
+byte-identical to ``workers=1``, which executes the very same worker
+function in-process.
+
+Merging rules (DESIGN.md section 9):
+
+- **pairs** — union over shards, then
+  :func:`~repro.join.result.canonical_pairs` (a self join's residual
+  cross join reintroduces mirrored pairs; cell shards of a non-self
+  join are disjoint by construction).
+- **ledger** — per-phase :class:`~repro.storage.iostats.PhaseStats`
+  add up (``merged_into``), so the merged totals are exactly the sum
+  of the per-shard ledgers.
+- **replication** — input-size-weighted average of the per-shard
+  factors (equation 9 is a ratio, so shard ratios are weighted by the
+  records that produced them).
+- **observability** — worker span trees are grafted under one
+  ``parallel_join`` root as ``shard:<id>`` children; worker metric
+  registries fold into the caller's via
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_dump`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.join.dataset import SpatialDataset
+from repro.join.metrics import JoinMetrics
+from repro.join.predicates import Intersects, JoinPredicate
+from repro.join.result import JoinResult, canonical_pairs
+from repro.obs import NULL_TRACER, Observability, Span, TABLE2_PHASES
+from repro.parallel.planner import ShardPlan, ShardTask, default_shard_level, plan_shards
+from repro.storage.iostats import PhaseStats
+from repro.storage.manager import StorageConfig, StorageManager
+
+
+def _shard_payload(
+    task: ShardTask,
+    algorithm: str,
+    predicate: JoinPredicate,
+    config: StorageConfig | None,
+    refine: bool,
+    instrument: bool,
+    params: dict[str, Any],
+) -> dict[str, Any]:
+    """Everything one worker needs, as a picklable dict."""
+    return {
+        "shard_id": task.shard_id,
+        "kind": task.kind,
+        "dataset_a": task.dataset_a,
+        "dataset_b": None if task.self_join else task.dataset_b,
+        "self_join": task.self_join,
+        "algorithm": algorithm,
+        "predicate": predicate,
+        "config": config,
+        "refine": refine,
+        "instrument": instrument,
+        "params": params,
+    }
+
+
+def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
+    """Execute one shard's sub-join (module-level so it pickles).
+
+    Runs in a worker process for ``workers > 1`` and in-process for
+    ``workers = 1`` — the same code path either way, so worker count
+    can only affect wall-clock, never results.
+    """
+    from repro.join.api import spatial_join
+
+    dataset_a: SpatialDataset = payload["dataset_a"]
+    dataset_b: SpatialDataset = (
+        dataset_a if payload["self_join"] else payload["dataset_b"]
+    )
+    config: StorageConfig | None = payload["config"]
+    if config is not None and config.backend == "disk" and config.directory is not None:
+        # A shared on-disk directory would collide across shards (every
+        # sub-join names its files input-A-<n>...): give each worker a
+        # private temporary directory instead.
+        config = dataclasses.replace(config, directory=None)
+    obs = Observability() if payload["instrument"] else None
+
+    result = spatial_join(
+        dataset_a,
+        dataset_b,
+        algorithm=payload["algorithm"],
+        predicate=payload["predicate"],
+        storage=config,
+        refine=payload["refine"],
+        obs=obs,
+        **payload["params"],
+    )
+
+    out: dict[str, Any] = {
+        "shard_id": payload["shard_id"],
+        "kind": payload["kind"],
+        "input_records": len(dataset_a) + len(dataset_b),
+        "pairs": sorted(result.pairs),
+        "refined": None if result.refined is None else sorted(result.refined),
+        "metrics": result.metrics.to_dict(),
+    }
+    if obs is not None:
+        out["metric_series"] = obs.metrics.as_dict()
+        out["spans"] = obs.tracer.to_dicts()
+    return out
+
+
+def _merge_metrics(
+    shard_results: list[dict[str, Any]],
+    algorithm: str,
+    plan: ShardPlan,
+    config: StorageConfig | None,
+) -> JoinMetrics:
+    """Fold per-shard :class:`JoinMetrics` dumps into one ledger."""
+    shard_metrics = [JoinMetrics.from_dict(r["metrics"]) for r in shard_results]
+
+    phases: dict[str, PhaseStats] = {}
+    for metrics in shard_metrics:
+        for name, stats in metrics.phases.items():
+            stats.merged_into(phases.setdefault(name, PhaseStats()))
+
+    if shard_metrics:
+        phase_names = shard_metrics[0].phase_names
+        cost_model = shard_metrics[0].cost_model
+    else:  # degenerate plan (an empty input side): nothing ran
+        phase_names = TABLE2_PHASES.get(algorithm.lower(), ())
+        cost_model = (config or StorageConfig()).cost_model
+
+    weights = [r["input_records"] for r in shard_results]
+    total_weight = sum(weights)
+    if total_weight:
+        replication_a = (
+            sum(m.replication_a * w for m, w in zip(shard_metrics, weights))
+            / total_weight
+        )
+        replication_b = (
+            sum(m.replication_b * w for m, w in zip(shard_metrics, weights))
+            / total_weight
+        )
+    else:
+        replication_a = replication_b = 1.0
+
+    # Deliberately excludes the worker count: it is an execution knob
+    # that may only change wall-clock, so the merged metrics must be
+    # byte-identical for every value of it (it lives on the
+    # ``parallel_join`` span instead).
+    details: dict[str, Any] = {
+        "parallel": True,
+        "plan": plan.describe(),
+        "shards": [
+            {
+                "shard_id": r["shard_id"],
+                "kind": r["kind"],
+                "input_records": r["input_records"],
+                "pairs": len(r["pairs"]),
+                "total_ios": m.total_ios,
+                "response_time": m.response_time,
+            }
+            for r, m in zip(shard_results, shard_metrics)
+        ],
+    }
+    return JoinMetrics(
+        algorithm=algorithm,
+        phase_names=phase_names,
+        phases=phases,
+        cost_model=cost_model,
+        replication_a=replication_a,
+        replication_b=replication_b,
+        details=details,
+    )
+
+
+def _graft_observability(
+    obs: Observability,
+    root: Span,
+    shard_results: list[dict[str, Any]],
+) -> None:
+    """Attach worker span trees and metric series to the caller's obs."""
+    for result in shard_results:
+        spans = result.get("spans")
+        if spans is not None and obs.tracer.enabled:
+            shard_span = Span(
+                f"shard:{result['shard_id']}",
+                root.start_s,
+                {"kind": result["kind"], "input_records": result["input_records"]},
+            )
+            shard_span.children = [Span.from_dict(d) for d in spans]
+            shard_span.wall_s = sum(c.wall_s for c in shard_span.children)
+            shard_span.cpu_s = sum(c.cpu_s for c in shard_span.children)
+            root.children.append(shard_span)
+        series = result.get("metric_series")
+        if series is not None and obs.metrics.enabled:
+            obs.metrics.merge_dump(series)
+
+
+def parallel_spatial_join(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    algorithm: str = "s3j",
+    predicate: JoinPredicate | None = None,
+    storage: StorageConfig | None = None,
+    refine: bool = False,
+    obs: Observability | None = None,
+    workers: int = 1,
+    shard_level: int | None = None,
+    **params: Any,
+) -> JoinResult:
+    """Run a spatial join sharded by Hilbert key range.
+
+    The inputs are routed into the ``4^shard_level`` level-``k``
+    quadrant shards plus a residual shard of large entities (see
+    :mod:`repro.parallel.planner`), the resulting independent sub-joins
+    run on ``workers`` processes (in-process when ``workers=1``), and
+    pair sets, ledgers, and observability output merge
+    deterministically — the result is identical for every worker count.
+
+    ``storage`` must be a :class:`StorageConfig` (or ``None`` for the
+    per-shard paper default): a live :class:`StorageManager` cannot be
+    shared across processes.  Passing the same object for both datasets
+    runs a self join, exactly as in :func:`~repro.join.api.spatial_join`.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if isinstance(storage, StorageManager):
+        raise ValueError(
+            "parallel_spatial_join needs a StorageConfig, not a live "
+            "StorageManager: every shard builds its own storage"
+        )
+    from repro.join.api import available_algorithms
+
+    if algorithm.lower() not in available_algorithms():
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {available_algorithms()}"
+        )
+    predicate = predicate or Intersects()
+    self_join = dataset_a is dataset_b
+    if shard_level is None:
+        shard_level = default_shard_level(workers)
+
+    plan = plan_shards(
+        dataset_a,
+        dataset_b,
+        shard_level,
+        curve=params.get("curve"),
+        margin=predicate.mbr_margin,
+    )
+    instrument = obs is not None and obs.enabled
+    payloads = [
+        _shard_payload(
+            task, algorithm, predicate, storage, refine, instrument, params
+        )
+        for task in plan.tasks
+    ]
+
+    tracer = obs.tracer if obs is not None else NULL_TRACER
+    with tracer.span(
+        "parallel_join",
+        algorithm=algorithm,
+        workers=workers,
+        shard_level=shard_level,
+        tasks=len(plan.tasks),
+        self_join=self_join,
+    ) as root:
+        if workers == 1 or len(payloads) <= 1:
+            shard_results = [_run_shard(p) for p in payloads]
+        else:
+            pool_size = min(workers, len(payloads))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                # map() preserves submission order = plan order.
+                shard_results = list(pool.map(_run_shard, payloads))
+
+        raw_pairs: set[tuple[int, int]] = set()
+        for result in shard_results:
+            raw_pairs.update(tuple(pair) for pair in result["pairs"])
+        pairs = canonical_pairs(raw_pairs, self_join)
+
+        refined = None
+        if refine:
+            raw_refined: set[tuple[int, int]] = set()
+            for result in shard_results:
+                raw_refined.update(tuple(pair) for pair in result["refined"] or ())
+            refined = canonical_pairs(raw_refined, self_join)
+
+        metrics = _merge_metrics(shard_results, algorithm, plan, storage)
+        metrics.details["shard_level"] = shard_level
+
+        if obs is not None and obs.enabled:
+            _graft_observability(obs, root, shard_results)
+        root.set(candidate_pairs=len(pairs))
+
+    return JoinResult(pairs=pairs, metrics=metrics, self_join=self_join, refined=refined)

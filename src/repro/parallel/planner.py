@@ -1,0 +1,217 @@
+"""The shard planner: route entities to Hilbert-range shards.
+
+Shard level ``k`` partitions the data space into the ``4^k`` cells of
+the level-``k`` Filter-Tree grid.  Each cell is one contiguous Hilbert
+key range (the curve's prefix property), so a shard is identified by
+the top ``2k`` bits of any interior point's key.
+
+Routing applies the same containment rule S3J's synchronized scan
+relies on:
+
+- an entity whose (margin-expanded) MBR has Filter-Tree level
+  ``l >= k`` fits wholly inside one level-``k`` cell — it is routed to
+  exactly that cell's shard (its level-``k`` ancestor), identified by
+  the top ``2k`` bits of its center's Hilbert key;
+- an entity with ``l < k`` is cut by a level-``k`` grid line — it goes
+  to the *residual* shard of large entities.
+
+No entity is ever replicated.  Entities routed to *different* cell
+shards can never form a result pair: their quantized MBRs lie in
+disjoint closed cells of the ``2^k`` grid (level quantization is
+exactly the one :class:`~repro.filtertree.levels.LevelAssigner` uses,
+so even boundary-touching MBRs quantize apart).  The full join is
+therefore the disjoint union
+
+    sum over cells c:  A_c  join  B_c
+    +  residual(A)     join  B            (all of B)
+    +  (A - residual)  join  residual(B)
+
+where the third term excludes ``residual(A)`` so residual-residual
+pairs are found exactly once.  For a self join the plan collapses to
+the per-cell self joins plus ``residual(A) join A``; the executor
+canonicalizes the mirrored pairs the residual cross join reintroduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.filtertree.levels import LevelAssigner
+from repro.geometry.entity import Entity
+from repro.join.dataset import SpatialDataset
+
+RESIDUAL_A = "residual-A"
+RESIDUAL_B = "residual-B"
+
+
+def default_shard_level(workers: int) -> int:
+    """The smallest level whose ``4^k`` cells cover ``workers`` shards
+    (at least 1, so sharding is exercised even with one worker)."""
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return max(1, math.ceil(math.log(workers, 4)))
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One independent sub-join of the sharded plan.
+
+    ``self_join`` marks cell shards of a self join, where both sides
+    are the *same* dataset object and the sub-join must canonicalize
+    its pairs; the residual cross join of a self join is not marked
+    (its sides differ) and the executor canonicalizes at merge time.
+    """
+
+    shard_id: str
+    kind: str  # "cell" | "residual-A" | "residual-B"
+    dataset_a: SpatialDataset
+    dataset_b: SpatialDataset
+    self_join: bool = False
+
+    @property
+    def input_records(self) -> int:
+        return len(self.dataset_a) + len(self.dataset_b)
+
+
+@dataclass
+class ShardPlan:
+    """The deterministic decomposition of one join into sub-joins."""
+
+    shard_level: int
+    tasks: list[ShardTask]
+    routed_a: int = 0  # entities of A routed to cell shards
+    routed_b: int = 0
+    residual_a: int = 0  # entities of A in the residual shard
+    residual_b: int = 0
+
+    @property
+    def num_cells(self) -> int:
+        return sum(1 for task in self.tasks if task.kind == "cell")
+
+    def describe(self) -> dict[str, int]:
+        return {
+            "shard_level": self.shard_level,
+            "tasks": len(self.tasks),
+            "cells": self.num_cells,
+            "routed_a": self.routed_a,
+            "routed_b": self.routed_b,
+            "residual_a": self.residual_a,
+            "residual_b": self.residual_b,
+        }
+
+
+def _route(
+    dataset: SpatialDataset,
+    shard_level: int,
+    assigner: LevelAssigner,
+    curve: SpaceFillingCurve,
+    margin: float,
+) -> tuple[dict[int, list[Entity]], list[Entity]]:
+    """Split one dataset into cell buckets (keyed by the top ``2k``
+    Hilbert key bits) and the residual list of large entities.
+
+    Routing looks at the *margin-expanded* MBR — the same box the join
+    algorithms partition on — so a distance predicate's expansion can
+    never push an entity across a shard boundary unseen.
+    """
+    shift = 2 * (curve.order - shard_level)
+    cells: dict[int, list[Entity]] = {}
+    residual: list[Entity] = []
+    for entity in dataset:
+        box = entity.mbr if margin == 0.0 else entity.mbr.expanded(margin).clamped()
+        if assigner.level(box) >= shard_level:
+            prefix = curve.key_of_normalized(*box.center) >> shift
+            cells.setdefault(prefix, []).append(entity)
+        else:
+            residual.append(entity)
+    return cells, residual
+
+
+def plan_shards(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    shard_level: int,
+    curve: SpaceFillingCurve | None = None,
+    margin: float = 0.0,
+) -> ShardPlan:
+    """Plan the sharded execution of ``dataset_a`` join ``dataset_b``.
+
+    The plan is a pure function of the inputs and ``shard_level`` —
+    independent of how many workers later execute it — so results are
+    reproducible across worker counts.  Passing the same object for
+    both datasets plans a self join.
+    """
+    curve = curve or HilbertCurve()
+    if not 1 <= shard_level <= curve.order:
+        raise ValueError(
+            f"shard_level {shard_level} outside [1, {curve.order}]"
+        )
+    assigner = LevelAssigner(order=curve.order, max_level=curve.order)
+    self_join = dataset_a is dataset_b
+
+    cells_a, residual_a = _route(dataset_a, shard_level, assigner, curve, margin)
+    if self_join:
+        cells_b, residual_b = cells_a, residual_a
+    else:
+        cells_b, residual_b = _route(dataset_b, shard_level, assigner, curve, margin)
+
+    width = -(-shard_level // 2)  # hex digits covering 2k bits
+    tasks: list[ShardTask] = []
+    for prefix in sorted(set(cells_a) & set(cells_b)):
+        sub_a = SpatialDataset(f"{dataset_a.name}/cell-{prefix:0{width}x}", cells_a[prefix])
+        if self_join:
+            sub_b = sub_a
+        else:
+            sub_b = SpatialDataset(
+                f"{dataset_b.name}/cell-{prefix:0{width}x}", cells_b[prefix]
+            )
+        tasks.append(
+            ShardTask(
+                shard_id=f"cell-{prefix:0{width}x}",
+                kind="cell",
+                dataset_a=sub_a,
+                dataset_b=sub_b,
+                self_join=self_join,
+            )
+        )
+
+    # Residual(A) joins *all* of B (a large A entity may meet any B
+    # entity); for a self join this is also where residual-residual
+    # and residual-small pairs are found, mirrored pairs included.
+    if residual_a and len(dataset_b):
+        tasks.append(
+            ShardTask(
+                shard_id=RESIDUAL_A,
+                kind=RESIDUAL_A,
+                dataset_a=SpatialDataset(f"{dataset_a.name}/residual", residual_a),
+                dataset_b=dataset_b,
+            )
+        )
+    # Small(A) joins residual(B): excluding residual(A) on the left
+    # keeps residual-residual pairs from being counted twice.  A self
+    # join skips this task — residual(A) join A already covered it.
+    if not self_join and residual_b:
+        small_a = [
+            entity for bucket in (cells_a[p] for p in sorted(cells_a)) for entity in bucket
+        ]
+        if small_a:
+            tasks.append(
+                ShardTask(
+                    shard_id=RESIDUAL_B,
+                    kind=RESIDUAL_B,
+                    dataset_a=SpatialDataset(f"{dataset_a.name}/small", small_a),
+                    dataset_b=SpatialDataset(f"{dataset_b.name}/residual", residual_b),
+                )
+            )
+
+    return ShardPlan(
+        shard_level=shard_level,
+        tasks=tasks,
+        routed_a=sum(len(bucket) for bucket in cells_a.values()),
+        routed_b=sum(len(bucket) for bucket in cells_b.values()),
+        residual_a=len(residual_a),
+        residual_b=len(residual_b),
+    )

@@ -189,18 +189,12 @@ class ExternalSorter:
                 heapq.heappush(heap, (key(nxt), index, nxt))
 
     def _rename(self, current: str, target: str) -> PagedFile:
-        """Rewrite the final run under its public name (metadata only —
-        no page I/O is charged, like a filesystem rename)."""
-        source = self.storage.open_file(current)
-        output = self.storage.create_file(target, source.codec)
-        for page_no in range(source.num_pages):
-            records = self.storage.backend.read_page(current, page_no)
-            self.storage.backend.write_page(target, page_no, records)
-        output.num_pages = source.num_pages
-        output.num_records = source.num_records
-        output._tail_count = source._tail_count
-        self.storage.drop_file(current)
-        return output
+        """Move the final run under its public name — a true metadata
+        rename (:meth:`StorageManager.rename_file`): no page is copied
+        and no I/O is charged.  Sorting into an existing output name
+        deterministically replaces it, so re-sorting into the same name
+        is well-defined (the prior output's handle goes stale)."""
+        return self.storage.rename_file(current, target, replace=True)
 
 
 def _drop_adjacent_duplicates(records: Iterator[Record]) -> Iterator[Record]:

@@ -37,6 +37,11 @@ class StorageBackend(ABC):
         """Remove a file and its pages."""
 
     @abstractmethod
+    def rename_file(self, old: str, new: str) -> None:
+        """Move a file's pages under a new name (metadata only; the new
+        name must not already exist at the backend)."""
+
+    @abstractmethod
     def read_page(self, name: str, page_no: int) -> list[Record]:
         """Return the records stored in one page."""
 
@@ -65,6 +70,16 @@ class MemoryBackend(StorageBackend):
         self._files.discard(name)
         for key in [k for k in self._pages if k[0] == name]:
             del self._pages[key]
+
+    def rename_file(self, old: str, new: str) -> None:
+        if old not in self._files:
+            raise FileNotFoundError(f"no storage file named {old!r}")
+        if new in self._files:
+            raise FileExistsError(f"storage file {new!r} already exists")
+        self._files.discard(old)
+        self._files.add(new)
+        for key in [k for k in self._pages if k[0] == old]:
+            self._pages[(new, key[1])] = self._pages.pop(key)
 
     def read_page(self, name: str, page_no: int) -> list[Record]:
         try:
@@ -127,6 +142,18 @@ class FileBackend(StorageBackend):
         path = self._path(name)
         if path.exists():
             path.unlink()
+
+    def rename_file(self, old: str, new: str) -> None:
+        if old not in self._codecs:
+            raise FileNotFoundError(f"no storage file named {old!r}")
+        if new in self._codecs:
+            raise FileExistsError(f"storage file {new!r} already exists")
+        handle = self._handles.pop(old, None)
+        if handle is not None:
+            handle.close()
+        self._codecs[new] = self._codecs.pop(old)
+        self._page_sizes[new] = self._page_sizes.pop(old)
+        os.replace(self._path(old), self._path(new))
 
     def read_page(self, name: str, page_no: int) -> list[Record]:
         codec = self._codecs[name]

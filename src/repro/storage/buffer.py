@@ -208,3 +208,14 @@ class BufferPool:
         """Discard frames of a deleted file without writing them back."""
         for key in [k for k in self._frames if k[0] == file_name]:
             del self._frames[key]
+
+    def rename_file(self, old: str, new: str) -> None:
+        """Re-key buffered frames of ``old`` under ``new``, preserving
+        LRU order, pin counts, and dirty bits (no I/O, no ledger
+        events — a rename is pure metadata)."""
+        if any(key[0] == new for key in self._frames):
+            raise ValueError(f"file {new!r} still has buffered frames")
+        renamed = OrderedDict()
+        for (name, page_no), frame in self._frames.items():
+            renamed[(new if name == old else name, page_no)] = frame
+        self._frames = renamed

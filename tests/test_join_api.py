@@ -183,6 +183,18 @@ class TestSpatialJoinAPI:
         config = default_storage_config(a, a)
         assert config.buffer_pages == 20  # 10% of 200 pages
 
+    def test_default_config_tracks_page_size(self):
+        # Regression: E must come from the actual page size and the
+        # descriptor record size, not a hardcoded 4096 // 48.
+        a = make_squares(8500, 0.01, seed=14, name="A")
+        config = default_storage_config(a, a, page_size=1024)
+        per_page = 1024 // 48  # 21 descriptors per 1 KB page
+        pages = 2 * -(-8500 // per_page)
+        assert config.page_size == 1024
+        assert config.buffer_pages == -(-pages // 10)  # 10%, rounded up
+        # Same inputs on larger pages need fewer buffer pages.
+        assert config.buffer_pages > default_storage_config(a, a).buffer_pages
+
     def test_algorithm_params_forwarded(self):
         a = make_squares(100, 0.05, seed=15, name="A")
         b = make_squares(100, 0.05, seed=16, name="B")

@@ -104,4 +104,50 @@ class TestMultiway:
         )
         tuples, metrics = spatial_multiway_join([left, right, far])
         assert tuples == frozenset()
-        assert len(metrics) == 1  # pipeline stopped after the empty stage
+        # One metrics entry per planned stage, even though the second
+        # stage had no input: callers can zip(metrics, stages).
+        assert len(metrics) == 2
+        assert metrics[1].details.get("empty_stage") is True
+        assert metrics[1].response_time == 0.0
+        assert metrics[1].total_ios == 0
+
+    def test_empty_stage_metrics_one_per_stage(self):
+        """A 4-way join whose second stage empties still reports one
+        metrics entry for every planned stage."""
+        import random
+
+        from repro.geometry.entity import Entity
+        from repro.geometry.rect import Rect
+        from repro.join.dataset import SpatialDataset
+
+        rng = random.Random(42)
+
+        def corner(name, xlo, ylo):
+            return SpatialDataset(
+                name,
+                [
+                    Entity.from_geometry(
+                        i,
+                        Rect(
+                            x := rng.uniform(xlo, xlo + 0.08),
+                            y := rng.uniform(ylo, ylo + 0.08),
+                            x + 0.004,
+                            y + 0.004,
+                        ),
+                    )
+                    for i in range(15)
+                ],
+            )
+
+        disjoint = [
+            corner("A", 0.0, 0.0),
+            corner("B", 0.9, 0.9),
+            corner("C", 0.0, 0.9),
+            corner("D", 0.9, 0.0),
+        ]
+        tuples, metrics = spatial_multiway_join(disjoint)
+        assert tuples == frozenset()
+        assert len(metrics) == 3
+        assert metrics[0].details.get("empty_stage") is None
+        for stage in metrics[1:]:
+            assert stage.details.get("empty_stage") is True

@@ -55,6 +55,31 @@ class TestBasics:
         with pytest.raises(ValueError):
             ExternalSorter(storage, bulk_pages=0)
 
+    def test_sort_twice_into_same_output_name(self, storage):
+        """Re-sorting into an existing output name deterministically
+        replaces the previous output (regression for the old backend
+        copy + ``_tail_count`` poke, which raised FileExistsError after
+        doing all the sort work)."""
+        first = fill_descriptors(storage, "in1", [5, 3, 9])
+        second = fill_descriptors(storage, "in2", [8, 2, 6, 4])
+        sorter = ExternalSorter(storage)
+        sorter.sort(first, "out", key=lambda r: r[HKEY])
+        result = sorter.sort(second, "out", key=lambda r: r[HKEY])
+        assert [r[HKEY] for r in result.output.scan()] == [2, 4, 6, 8]
+        assert [r[HKEY] for r in storage.open_file("out").scan()] == [2, 4, 6, 8]
+        leftovers = [f for f in storage.list_files() if f.startswith("__sort-run")]
+        assert leftovers == []
+
+    def test_sort_multipass_twice_into_same_output_name(self):
+        """Same regression under multi-pass merging (several runs)."""
+        with StorageManager(StorageConfig(buffer_pages=8)) as storage:
+            first = fill_descriptors(storage, "in1", list(range(400, 0, -1)))
+            second = fill_descriptors(storage, "in2", list(range(0, 900, 2)))
+            sorter = ExternalSorter(storage, memory_pages=2)
+            sorter.sort(first, "out", key=lambda r: r[HKEY])
+            result = sorter.sort(second, "out", key=lambda r: r[HKEY])
+            assert [r[HKEY] for r in result.output.scan()] == list(range(0, 900, 2))
+
 
 class TestMultiPass:
     def test_many_runs_merge_to_one(self):

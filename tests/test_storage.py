@@ -90,6 +90,22 @@ class TestBackends:
         with pytest.raises(ValueError):
             backend.read_page("f", 0)
 
+    def test_rename_moves_pages(self, backend):
+        codec = CandidatePairCodec()
+        backend.create_file("old", codec, 4096)
+        backend.write_page("old", 0, [(1, 2)])
+        backend.rename_file("old", "new")
+        assert backend.read_page("new", 0) == [(1, 2)]
+        with pytest.raises(FileNotFoundError):
+            backend.rename_file("old", "elsewhere")
+
+    def test_rename_onto_existing_raises(self, backend):
+        codec = CandidatePairCodec()
+        backend.create_file("a", codec, 4096)
+        backend.create_file("b", codec, 4096)
+        with pytest.raises(FileExistsError):
+            backend.rename_file("a", "b")
+
     def test_file_backend_overflow_page_raises(self, tmp_path):
         backend = FileBackend(tmp_path)
         codec = CandidatePairCodec()
@@ -256,6 +272,80 @@ class TestStorageManager:
 
     def test_descriptors_per_page(self, storage):
         assert storage.descriptors_per_page() == 85
+
+    def test_rename_is_metadata_only(self, storage):
+        handle = storage.create_file("old")
+        handle.append_many((i, 0.1, 0.1, 0.2, 0.2, i) for i in range(200))
+        handle.flush()
+        before = storage.stats.snapshot()
+        renamed = storage.rename_file("old", "new")
+        after = storage.stats.snapshot()
+        # No page transfers, no hits: a rename never touches the ledger.
+        assert after.total_ios == before.total_ios
+        assert after.buffer_hits == before.buffer_hits
+        assert renamed is handle and handle.name == "new"
+        assert storage.open_file("new") is handle
+        with pytest.raises(FileNotFoundError):
+            storage.open_file("old")
+        assert [r[0] for r in handle.scan()] == list(range(200))
+
+    def test_rename_preserves_buffered_dirty_pages(self, storage):
+        handle = storage.create_file("old")
+        handle.append((7, 0.1, 0.1, 0.2, 0.2, 7))  # dirty tail page buffered
+        storage.rename_file("old", "new")
+        handle.append((8, 0.1, 0.1, 0.2, 0.2, 8))  # keeps appending
+        storage.pool.invalidate()
+        assert [r[0] for r in handle.scan()] == [7, 8]
+
+    def test_rename_onto_existing_fails_without_replace(self, storage):
+        storage.create_file("a")
+        storage.create_file("b")
+        with pytest.raises(FileExistsError):
+            storage.rename_file("a", "b")
+
+    def test_rename_onto_existing_replaces_when_asked(self, storage):
+        a = storage.create_file("a")
+        a.append((1, 0.1, 0.1, 0.2, 0.2, 1))
+        b = storage.create_file("b")
+        b.append((2, 0.1, 0.1, 0.2, 0.2, 2))
+        storage.rename_file("a", "b", replace=True)
+        survivor = storage.open_file("b")
+        assert survivor is a
+        assert [r[0] for r in survivor.scan()] == [1]
+
+    def test_rename_onto_itself_raises(self, storage):
+        storage.create_file("a")
+        with pytest.raises(ValueError):
+            storage.rename_file("a", "a")
+
+    def test_rename_missing_raises(self, storage):
+        with pytest.raises(FileNotFoundError):
+            storage.rename_file("ghost", "anything")
+
+    def test_clone_metadata_from(self, storage):
+        source = storage.create_file("src")
+        source.append_many((i, 0.1, 0.1, 0.2, 0.2, i) for i in range(100))
+        source.flush()
+        target = storage.create_file("dst")
+        for page_no in range(source.num_pages):
+            storage.backend.write_page(
+                "dst", page_no, storage.backend.read_page("src", page_no)
+            )
+        target.clone_metadata_from(source)
+        assert target.num_pages == source.num_pages
+        assert target.num_records == source.num_records
+        assert [r[0] for r in target.scan()] == list(range(100))
+        # Appends continue on the adopted partial tail page.
+        target.append((100, 0.1, 0.1, 0.2, 0.2, 100))
+        assert target.num_records == 101
+
+    def test_clone_metadata_codec_mismatch_raises(self, storage):
+        from repro.storage.records import CandidatePairCodec
+
+        source = storage.create_file("src")
+        target = storage.create_file("dst", CandidatePairCodec())
+        with pytest.raises(ValueError):
+            target.clone_metadata_from(source)
 
 
 class TestIOStats:

@@ -3,6 +3,8 @@
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.sync_scan import synchronized_scan
 from repro.curves.hilbert import HilbertCurve
@@ -144,3 +146,65 @@ class TestReadOnceInvariant:
             phase = storage.stats.phases["join"]
             assert phase.page_reads == total_pages
             assert phase.buffer_hits == 0
+
+
+# -- property-based oracle ----------------------------------------------
+#
+# Rect coordinates are multiples of 1/16, so MBR edges land *exactly* on
+# Filter-Tree grid lines at levels <= 4 — the boundary-touch cases where
+# quantization decides which cell (and which level) an entity gets.
+# Degenerate (zero-width) rects and heavy duplication are both allowed:
+# duplicated rects share a center, hence a Hilbert key, producing level
+# files with whole pages of equal keys.
+
+GRID = 16
+
+rect_on_grid = st.tuples(
+    st.integers(0, GRID - 1), st.integers(0, GRID - 1),
+    st.integers(0, GRID), st.integers(0, GRID),
+).map(
+    lambda t: Rect(
+        t[0] / GRID,
+        t[1] / GRID,
+        (t[0] + min(t[2], GRID - t[0])) / GRID,
+        (t[1] + min(t[3], GRID - t[1])) / GRID,
+    )
+)
+
+# (rect, copies): copies > 1 stacks identical Hilbert keys.
+rect_lists = st.lists(
+    st.tuples(rect_on_grid, st.integers(1, 12)), max_size=15
+).map(lambda items: [rect for rect, copies in items for _ in range(copies)])
+
+
+class TestOracle:
+    @given(rects_a=rect_lists, rects_b=rect_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_scan_matches_brute_force(self, rects_a, rects_b):
+        """Oracle: the scan equals the nested-loop join on mixed-level
+        data with boundary-touching MBRs and duplicated Hilbert keys."""
+        with StorageManager(StorageConfig(buffer_pages=64)) as storage:
+            files_a = build_level_files(storage, "A", rects_a)
+            files_b = build_level_files(storage, "B", rects_b, start_eid=1000)
+            assert run_scan(storage, files_a, files_b) == brute(rects_a, rects_b)
+
+    @given(
+        rects_a=rect_lists,
+        rects_b=rect_lists,
+        pivot=st.sampled_from([0.25, 0.5]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scan_matches_brute_force_around_pivot(self, rects_a, rects_b, pivot):
+        """Same oracle with every rect snapped to touch one grid line
+        (maximal boundary-touch density around the level-1/2 pivots)."""
+        def snap(rects):
+            return [
+                Rect(min(r.xlo, pivot), r.ylo, max(r.xhi, pivot), r.yhi)
+                for r in rects
+            ]
+
+        rects_a, rects_b = snap(rects_a), snap(rects_b)
+        with StorageManager(StorageConfig(buffer_pages=64)) as storage:
+            files_a = build_level_files(storage, "A", rects_a)
+            files_b = build_level_files(storage, "B", rects_b, start_eid=1000)
+            assert run_scan(storage, files_a, files_b) == brute(rects_a, rects_b)
