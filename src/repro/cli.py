@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.cli join --algorithm s3j --workload UN1-UN2
     python -m repro.cli table3 [--scale 0.2]
     python -m repro.cli table4 [--scale 0.2] [--only TR,CFD] [--json]
+    python -m repro.cli verify [--quick] [--json]
 
 `join` runs one algorithm on one of the paper's evaluation workloads
 and prints the phase breakdown; `--report PATH` additionally writes a
@@ -12,7 +13,11 @@ machine-readable :class:`~repro.obs.report.RunReport` (``-`` prints the
 JSON to stdout instead of the human-readable summary) and
 `--trace PATH` writes a Chrome ``chrome://tracing`` trace-event file.
 `table3` and `table4` regenerate the paper's tables; ``table4 --json``
-emits the rows as JSON.
+emits the rows as JSON.  `verify` runs the differential correctness
+harness (:mod:`repro.verify`) — every registered algorithm plus a
+sharded run, cross-checked against the brute-force oracle under
+metamorphic transforms and ledger invariants — and exits non-zero on
+any divergence.
 """
 
 from __future__ import annotations
@@ -21,12 +26,40 @@ import argparse
 import json
 import sys
 
+from repro.curves.base import DEFAULT_ORDER
 from repro.datagen.paper import default_scale, table3_rows
 from repro.experiments.runner import run_algorithm
 from repro.experiments.table4 import format_table4, table4_rows
 from repro.experiments.workloads import WORKLOADS, workload_by_name
 from repro.join.api import available_algorithms
 from repro.obs import Observability
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (worker counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 1 (got {value})"
+        )
+    return value
+
+
+def _shard_level(text: str) -> int:
+    """argparse type: a Filter-Tree shard level within the curve order."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if not 1 <= value <= DEFAULT_ORDER:
+        raise argparse.ArgumentTypeError(
+            f"shard level must be between 1 and {DEFAULT_ORDER} "
+            f"(the curve order), got {value}"
+        )
+    return value
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -62,13 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=1,
         help="run the join sharded by Hilbert range on N worker processes",
     )
     join.add_argument(
         "--shard-level",
-        type=int,
+        type=_shard_level,
         default=None,
         help="Filter-Tree level k of the 4^k shard grid (default: from --workers)",
     )
@@ -88,6 +121,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     table3 = commands.add_parser("table3", help="regenerate Table 3")
     _add_scale(table3)
+
+    verify = commands.add_parser(
+        "verify", help="run the differential correctness harness"
+    )
+    verify.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke configuration: 3 workloads, 4 transforms",
+    )
+    verify.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: the mode's roster)",
+    )
+    verify.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names (default: all registered)",
+    )
+    verify.add_argument(
+        "--transforms",
+        default=None,
+        help="comma-separated metamorphic transform names",
+    )
+    verify.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="worker count of the sharded executor runs (default: 2)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="workload generation seed"
+    )
+    verify.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="report raw divergences without shrinking counterexamples",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the summary",
+    )
 
     table4 = commands.add_parser("table4", help="regenerate Table 4")
     table4.add_argument(
@@ -159,6 +235,49 @@ def cmd_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run the differential correctness harness; non-zero on failure."""
+    from repro.verify import (
+        cases_by_name,
+        default_executors,
+        run_verify,
+        transforms_by_name,
+    )
+
+    algorithms = tuple(args.algorithms.split(",")) if args.algorithms else None
+    try:
+        cases = (
+            cases_by_name(tuple(args.workloads.split(",")), seed=args.seed)
+            if args.workloads
+            else None
+        )
+        transforms = (
+            transforms_by_name(tuple(args.transforms.split(",")))
+            if args.transforms
+            else None
+        )
+        executors = default_executors(
+            algorithms=algorithms, worker_counts=(args.workers,)
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = run_verify(
+        quick=args.quick,
+        cases=cases,
+        transforms=transforms,
+        executors=executors,
+        minimize=not args.no_minimize,
+        seed=args.seed,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_table3(args: argparse.Namespace) -> int:
     """Print the regenerated Table 3."""
     rows = table3_rows(args.scale)
@@ -189,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         "join": cmd_join,
         "table3": cmd_table3,
         "table4": cmd_table4,
+        "verify": cmd_verify,
     }
     return handlers[args.command](args)
 

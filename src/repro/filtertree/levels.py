@@ -64,6 +64,22 @@ class LevelAssigner:
             raise ValueError(f"coordinate {coord} outside the unit square")
         return min(int(coord * self.side), self.side - 1)
 
+    def quantize_hi(self, coord: float) -> int:
+        """Inclusive grid index of a *high* MBR corner.
+
+        Grid cells are closed intervals (boundary contact counts as
+        intersection — see ``sweep_intersections``), so a high corner
+        lying exactly on a grid line belongs to the cell *below* the
+        line, not the one above it.
+        """
+        if not 0.0 <= coord <= 1.0:
+            raise ValueError(f"coordinate {coord} outside the unit square")
+        scaled = coord * self.side
+        index = int(scaled)
+        if index == scaled and index > 0:
+            index -= 1
+        return min(index, self.side - 1)
+
     def level(self, mbr: Rect) -> int:
         """The paper's ``Level(xl, yl, xh, yh)``.
 
@@ -114,9 +130,12 @@ class LevelAssigner:
             self.level(mbr), self.max_level
         ):  # fits by definition of level()
             return (cx_lo, cy_lo)
-        cx_hi = self.quantize(mbr.xhi) >> shift
-        cy_hi = self.quantize(mbr.yhi) >> shift
-        if (cx_lo, cy_lo) != (cx_hi, cy_hi):
+        # High corners quantize *inclusively*: cells are closed
+        # intervals, so an MBR whose xhi/yhi lies exactly on a grid
+        # line still fits in the cell below that line.
+        cx_hi = self.quantize_hi(mbr.xhi) >> shift
+        cy_hi = self.quantize_hi(mbr.yhi) >> shift
+        if (cx_lo, cy_lo) != (max(cx_lo, cx_hi), max(cy_lo, cy_hi)):
             raise ValueError(f"MBR spans multiple level-{level} cells")
         return (cx_lo, cy_lo)
 
@@ -129,12 +148,22 @@ class LevelAssigner:
         )
 
 
+_BIT_LENGTH_STEPS = (32, 16, 8, 4, 2, 1)
+
+
 def _bit_lengths(values: np.ndarray) -> np.ndarray:
-    """Vectorized ``int.bit_length`` for non-negative int64 arrays."""
-    lengths = np.zeros(values.shape, dtype=np.int64)
-    work = values.astype(np.int64).copy()
-    while np.any(work > 0):
-        positive = work > 0
-        lengths[positive] += 1
-        work >>= 1
-    return lengths
+    """Vectorized ``int.bit_length`` for non-negative int64 arrays.
+
+    Binary-search reduction: six fixed passes regardless of magnitude
+    (the naive one-bit-per-pass loop costs ``order`` full-array passes
+    on the batch-partition hot path).
+    """
+    work = np.asarray(values, dtype=np.int64).copy()
+    if work.size and work.min() < 0:
+        raise ValueError("inputs must be non-negative")
+    lengths = np.zeros(work.shape, dtype=np.int64)
+    for step in _BIT_LENGTH_STEPS:
+        big = work >= (1 << step)
+        lengths[big] += step
+        work[big] >>= step
+    return lengths + (work > 0)

@@ -33,6 +33,8 @@ _ALGORITHMS: dict[str, tuple[str, str]] = {
     "s3j": ("repro.core.s3j", "SizeSeparationSpatialJoin"),
     "pbsm": ("repro.baselines.pbsm", "PartitionBasedSpatialMergeJoin"),
     "shj": ("repro.baselines.shj", "SpatialHashJoin"),
+    "rtree": ("repro.baselines.rtree_join", "RTreeSpatialJoin"),
+    "sweep": ("repro.baselines.sweep_join", "PlaneSweepJoin"),
 }
 
 _input_counter = itertools.count()

@@ -1,0 +1,92 @@
+"""repro.verify — the differential correctness harness.
+
+Three layers (see DESIGN.md section 10):
+
+- **oracle + differential** — a brute-force all-pairs oracle and a
+  runner that executes every registered algorithm (serial and sharded)
+  against it, shrinking any divergence to a minimized counterexample;
+- **metamorphic** — result-preserving input transforms (axis swap,
+  reflection, A/B swap, Hilbert→Z-order, grid snapping) that multiply
+  each workload into a family of cross-checks;
+- **invariants** — pluggable ledger checkers (phase buckets sum to
+  totals, S3J's join phase reads each sorted page once, replication
+  factors match the paper's claims, obs-on/off ledger parity).
+
+Typical use::
+
+    from repro.verify import run_verify
+    report = run_verify(quick=True)
+    print(report.summary())
+    assert report.ok
+"""
+
+from repro.verify.cases import VerifyCase
+from repro.verify.differential import (
+    Counterexample,
+    Divergence,
+    PairDiff,
+    diff_pairs,
+    minimize_counterexample,
+)
+from repro.verify.executors import (
+    ExecutorSpec,
+    RunRecord,
+    default_executors,
+    run_executor,
+)
+from repro.verify.harness import (
+    VerifyReport,
+    check_partition_conformance,
+    run_verify,
+)
+from repro.verify.invariants import (
+    DEFAULT_INVARIANTS,
+    Invariant,
+    InvariantViolation,
+    JoinReadsOnceInvariant,
+    PhaseBucketsSumInvariant,
+    ReplicationInvariant,
+    check_obs_parity,
+)
+from repro.verify.metamorphic import (
+    FULL_TRANSFORMS,
+    QUICK_TRANSFORMS,
+    TRANSFORMS,
+    Transform,
+    transforms_by_name,
+)
+from repro.verify.oracle import descriptor_boxes, oracle_for_case, oracle_pairs
+from repro.verify.workloads import cases_by_name, default_cases
+
+__all__ = [
+    "Counterexample",
+    "DEFAULT_INVARIANTS",
+    "Divergence",
+    "ExecutorSpec",
+    "FULL_TRANSFORMS",
+    "Invariant",
+    "InvariantViolation",
+    "JoinReadsOnceInvariant",
+    "PairDiff",
+    "PhaseBucketsSumInvariant",
+    "QUICK_TRANSFORMS",
+    "ReplicationInvariant",
+    "RunRecord",
+    "TRANSFORMS",
+    "Transform",
+    "VerifyCase",
+    "VerifyReport",
+    "cases_by_name",
+    "check_obs_parity",
+    "check_partition_conformance",
+    "default_cases",
+    "default_executors",
+    "descriptor_boxes",
+    "diff_pairs",
+    "minimize_counterexample",
+    "oracle_for_case",
+    "oracle_pairs",
+    "run_executor",
+    "run_verify",
+    "transforms_by_name",
+]

@@ -1,0 +1,162 @@
+"""Executors: one runnable configuration of one join algorithm.
+
+An :class:`ExecutorSpec` names an algorithm from the registry plus the
+knobs the harness varies (worker count, shard level, constructor
+parameters).  :func:`run_executor` executes a spec on a
+:class:`~repro.verify.cases.VerifyCase` and captures everything the
+invariant checkers need alongside the pair set: the full ledger totals,
+the per-phase metrics, the observability registry, and the page counts
+of S3J's sorted level files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.join.api import available_algorithms, default_storage_config, spatial_join
+from repro.join.metrics import JoinMetrics
+from repro.join.result import Pair
+from repro.obs import Observability
+from repro.storage.iostats import PhaseStats
+from repro.storage.manager import StorageManager
+from repro.verify.cases import VerifyCase
+
+SORTED_FILE_SUFFIX = "-sorted"
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """One algorithm configuration under test."""
+
+    algorithm: str
+    workers: int = 1
+    shard_level: int | None = None
+    params: tuple[tuple[str, Any], ...] = ()
+    label: str | None = None
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        if self.workers != 1 or self.shard_level is not None:
+            return f"{self.algorithm}@{self.workers}w"
+        return self.algorithm
+
+    @property
+    def sharded(self) -> bool:
+        return self.workers != 1 or self.shard_level is not None
+
+
+@dataclass
+class RunRecord:
+    """Everything captured about one executor run on one case."""
+
+    spec: ExecutorSpec
+    case: VerifyCase
+    transform_name: str
+    pairs: frozenset[Pair]
+    metrics: JoinMetrics
+    ledger_total: PhaseStats | None = None  # serial runs only
+    registry: Any | None = None  # MetricsRegistry of instrumented runs
+    level_file_pages: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def default_executors(
+    algorithms: tuple[str, ...] | None = None,
+    worker_counts: tuple[int, ...] = (2,),
+    sharded_algorithms: tuple[str, ...] = ("s3j",),
+) -> list[ExecutorSpec]:
+    """The default roster: every registered algorithm serially, plus
+    sharded runs of ``sharded_algorithms`` at each worker count."""
+    names = algorithms or available_algorithms()
+    unknown = set(names) - set(available_algorithms())
+    if unknown:
+        raise ValueError(
+            f"unknown algorithms {sorted(unknown)}; "
+            f"choose from {available_algorithms()}"
+        )
+    specs = [ExecutorSpec(algorithm=name) for name in names]
+    for name in sharded_algorithms:
+        if name not in names:
+            continue
+        for workers in worker_counts:
+            if workers == 1:
+                continue
+            specs.append(ExecutorSpec(algorithm=name, workers=workers))
+    return specs
+
+
+def run_executor(
+    case: VerifyCase,
+    spec: ExecutorSpec,
+    overrides: dict[str, Any] | None = None,
+    instrument: bool = True,
+) -> RunRecord:
+    """Run one executor on one case and capture its evidence.
+
+    Serial runs build their own :class:`StorageManager` so the live
+    ledger totals and the sorted level files can be inspected before
+    the storage is torn down; sharded runs go through the parallel
+    executor (per-shard storage) and capture metrics only.
+    """
+    params = dict(spec.params)
+    if overrides:
+        params.update(overrides)
+
+    if spec.sharded:
+        obs = Observability() if instrument else None
+        result = spatial_join(
+            case.dataset_a,
+            case.dataset_b,
+            algorithm=spec.algorithm,
+            predicate=case.predicate,
+            obs=obs,
+            workers=spec.workers,
+            shard_level=spec.shard_level,
+            **params,
+        )
+        return RunRecord(
+            spec=spec,
+            case=case,
+            transform_name="",
+            pairs=result.pairs,
+            metrics=result.metrics,
+            registry=obs.metrics if obs is not None else None,
+        )
+
+    obs = Observability() if instrument else None
+    manager = StorageManager(
+        default_storage_config(case.dataset_a, case.dataset_b), obs=obs
+    )
+    try:
+        result = spatial_join(
+            case.dataset_a,
+            case.dataset_b,
+            algorithm=spec.algorithm,
+            predicate=case.predicate,
+            storage=manager,
+            **params,
+        )
+        total = manager.stats.snapshot()
+        level_file_pages = {
+            name: manager.open_file(name).num_pages
+            for name in manager.list_files()
+            if name.endswith(SORTED_FILE_SUFFIX)
+        }
+    finally:
+        manager.close()
+    return RunRecord(
+        spec=spec,
+        case=case,
+        transform_name="",
+        pairs=result.pairs,
+        metrics=result.metrics,
+        ledger_total=total,
+        registry=obs.metrics if obs is not None else None,
+        level_file_pages=level_file_pages,
+    )

@@ -1,0 +1,321 @@
+"""The differential correctness harness.
+
+One :func:`run_verify` call sweeps the cross product of
+
+    workloads x metamorphic variants x executors
+
+and checks, for every run: the pair set against the brute-force oracle
+(with metamorphic expectation mapping), the pluggable ledger
+invariants, and — once per workload — partition-semantics conformance
+(``Level()``/``cell_of`` closed-interval behavior over the workload's
+own boxes) and obs-on/obs-off ledger parity.  Any pair-set divergence
+is shrunk to a minimized counterexample before it is reported.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.filtertree.levels import LevelAssigner
+from repro.verify.cases import VerifyCase
+from repro.verify.differential import (
+    Divergence,
+    diff_pairs,
+    minimize_counterexample,
+)
+from repro.verify.executors import (
+    ExecutorSpec,
+    default_executors,
+    run_executor,
+)
+from repro.verify.invariants import (
+    DEFAULT_INVARIANTS,
+    Invariant,
+    InvariantViolation,
+    check_obs_parity,
+)
+from repro.verify.metamorphic import (
+    FULL_TRANSFORMS,
+    QUICK_TRANSFORMS,
+    Transform,
+    transforms_by_name,
+)
+from repro.verify.oracle import descriptor_boxes, oracle_for_case
+from repro.verify.workloads import default_cases
+
+Progress = Callable[[str], None]
+
+CONFORMANCE_ORDER = 16
+CONFORMANCE_DEPTH = 6
+"""How many levels past an MBR's own level the cell_of conformance
+check probes."""
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one harness sweep."""
+
+    quick: bool
+    cases: list[str] = field(default_factory=list)
+    transforms: list[str] = field(default_factory=list)
+    executors: list[str] = field(default_factory=list)
+    runs: int = 0
+    pairs_checked: int = 0
+    conformance_boxes: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    violations: list[InvariantViolation] = field(default_factory=list)
+    oracle_failures: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.divergences or self.violations or self.oracle_failures)
+
+    def summary(self) -> str:
+        mode = "quick" if self.quick else "full"
+        lines = [
+            f"verify ({mode}): {len(self.cases)} workloads x "
+            f"{len(self.transforms)} variants x {len(self.executors)} "
+            f"executors = {self.runs} runs in {self.elapsed_s:.1f}s",
+            f"  workloads : {', '.join(self.cases)}",
+            f"  executors : {', '.join(self.executors)}",
+            f"  variants  : {', '.join(self.transforms)}",
+            f"  pair sets : {self.pairs_checked} compared against the oracle",
+            f"  conformance: {self.conformance_boxes} boxes level-checked",
+        ]
+        if self.ok:
+            lines.append("  PASS: zero pair-set diffs, zero invariant violations")
+            return "\n".join(lines)
+        lines.append(
+            f"  FAIL: {len(self.divergences)} pair-set divergence(s), "
+            f"{len(self.violations)} invariant violation(s), "
+            f"{len(self.oracle_failures)} metamorphic oracle failure(s)"
+        )
+        for divergence in self.divergences:
+            lines.append("  - " + divergence.describe().replace("\n", "\n    "))
+        for violation in self.violations:
+            lines.append("  - " + violation.describe())
+        for failure in self.oracle_failures:
+            lines.append("  - [metamorphic-oracle] " + failure)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "quick": self.quick,
+            "ok": self.ok,
+            "cases": self.cases,
+            "transforms": self.transforms,
+            "executors": self.executors,
+            "runs": self.runs,
+            "pairs_checked": self.pairs_checked,
+            "conformance_boxes": self.conformance_boxes,
+            "divergences": [d.describe() for d in self.divergences],
+            "violations": [v.describe() for v in self.violations],
+            "oracle_failures": list(self.oracle_failures),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def check_partition_conformance(
+    case: VerifyCase,
+    order: int = CONFORMANCE_ORDER,
+    depth: int = CONFORMANCE_DEPTH,
+) -> tuple[int, list[InvariantViolation]]:
+    """Closed-interval conformance of ``Level()`` and ``cell_of``.
+
+    For every filter-step box of the workload: the vectorized level
+    computation must match the scalar one, the box must fit the cell
+    ``cell_of`` returns at its own level, and for each deeper level at
+    which the box *geometrically* fits inside one closed grid cell,
+    ``cell_of`` must locate that cell instead of raising — the paper's
+    cells are closed intervals, so a high corner exactly on a grid line
+    stays inside the cell below it.
+    """
+    import numpy as np
+
+    assigner = LevelAssigner(order=order, max_level=order)
+    problems: list[str] = []
+    checked = 0
+    datasets = {
+        id(case.dataset_a): case.dataset_a,
+        id(case.dataset_b): case.dataset_b,
+    }
+    for dataset in datasets.values():
+        _, boxes = descriptor_boxes(dataset, case.margin)
+        if not len(boxes):
+            continue
+        scalar_levels = []
+        for xlo, ylo, xhi, yhi in boxes.tolist():
+            from repro.geometry.rect import Rect
+
+            box = Rect(xlo, ylo, xhi, yhi)
+            level = assigner.level(box)
+            scalar_levels.append(level)
+            checked += 1
+            # Its own level: never raises, returns the lo-corner cell.
+            cx, cy = assigner.cell_of(box, level)
+            side = assigner.cell_side(level)
+            if not (cx * side <= xlo and cy * side <= ylo):
+                problems.append(
+                    f"cell_of{box.as_tuple()} at own level {level} returned "
+                    f"({cx}, {cy}), which excludes the low corner"
+                )
+            # Deeper levels: cell_of must succeed exactly when the box
+            # geometrically fits one closed cell.
+            for deeper in range(level + 1, min(level + depth, order) + 1):
+                cells = 1 << deeper
+                cell_w = 1.0 / cells
+                fx = min(int(xlo * cells), cells - 1)
+                fy = min(int(ylo * cells), cells - 1)
+                fits = xhi <= (fx + 1) * cell_w and yhi <= (fy + 1) * cell_w
+                try:
+                    got = assigner.cell_of(box, deeper)
+                except ValueError:
+                    got = None
+                if fits and got is None:
+                    problems.append(
+                        f"cell_of{box.as_tuple()} raised at level {deeper} "
+                        f"although the box fits closed cell ({fx}, {fy})"
+                    )
+                elif not fits and got is not None:
+                    gx, gy = got
+                    if not (
+                        gx * cell_w <= xlo
+                        and xhi <= (gx + 1) * cell_w
+                        and gy * cell_w <= ylo
+                        and yhi <= (gy + 1) * cell_w
+                    ):
+                        problems.append(
+                            f"cell_of{box.as_tuple()} returned non-containing "
+                            f"cell ({gx}, {gy}) at level {deeper}"
+                        )
+        vector_levels = assigner.levels(
+            boxes[:, 0], boxes[:, 1], boxes[:, 2], boxes[:, 3]
+        )
+        if not np.array_equal(vector_levels, np.asarray(scalar_levels)):
+            mismatches = int(
+                (vector_levels != np.asarray(scalar_levels)).sum()
+            )
+            problems.append(
+                f"vectorized levels() disagrees with scalar level() on "
+                f"{mismatches} of {len(boxes)} boxes in {dataset.name}"
+            )
+    violations = [
+        InvariantViolation(
+            invariant="partition-conformance",
+            executor="LevelAssigner",
+            case=case.name,
+            message=message,
+        )
+        for message in problems[:10]
+    ]
+    return checked, violations
+
+
+def run_verify(
+    quick: bool = True,
+    cases: list[VerifyCase] | None = None,
+    transforms: list[Transform] | None = None,
+    executors: list[ExecutorSpec] | None = None,
+    invariants: tuple[Invariant, ...] = DEFAULT_INVARIANTS,
+    minimize: bool = True,
+    minimize_budget: int = 80,
+    obs_parity: bool = True,
+    seed: int = 0,
+    progress: Progress | None = None,
+) -> VerifyReport:
+    """Run the differential correctness harness.
+
+    Quick mode (the CI smoke configuration) covers three generated
+    workloads, four metamorphic variants plus identity, every
+    registered algorithm, and a 2-worker sharded S3J; full mode adds
+    the degenerate and paper workloads, the reflection transform, and
+    obs-parity checks for every serial executor.
+    """
+    say = progress or (lambda message: None)
+    started = time.monotonic()
+
+    if cases is None:
+        cases = default_cases(quick=quick, seed=seed)
+    if transforms is None:
+        transforms = transforms_by_name(
+            QUICK_TRANSFORMS if quick else FULL_TRANSFORMS
+        )
+    if executors is None:
+        executors = default_executors()
+
+    report = VerifyReport(
+        quick=quick,
+        cases=[case.name for case in cases],
+        transforms=[transform.name for transform in transforms],
+        executors=[spec.name for spec in executors],
+    )
+
+    for case in cases:
+        say(f"case {case.describe()}")
+        checked, conformance = check_partition_conformance(case)
+        report.conformance_boxes += checked
+        report.violations.extend(conformance)
+
+        base_oracle = oracle_for_case(case)
+        for transform in transforms:
+            variant = transform.apply(case)
+            expected = oracle_for_case(variant)
+            if transform.preserves_pairs and transform.name != "identity":
+                mapped = transform.map_pairs(base_oracle, case.self_join)
+                if mapped != expected:
+                    report.oracle_failures.append(
+                        f"{transform.name} on {case.name}: transform claims "
+                        f"{len(mapped)} pairs, oracle finds {len(expected)}"
+                    )
+
+            for spec in executors:
+                overrides = transform.param_overrides(spec.algorithm)
+                record = run_executor(variant, spec, overrides=overrides)
+                record.transform_name = transform.name
+                report.runs += 1
+                report.pairs_checked += len(expected)
+
+                if record.pairs != expected:
+                    diff = diff_pairs(expected, record.pairs)
+                    say(
+                        f"  DIVERGE {spec.name} x {transform.name}: "
+                        + diff.describe()
+                    )
+                    counterexample = None
+                    if minimize:
+                        counterexample = minimize_counterexample(
+                            variant,
+                            lambda sub: run_executor(
+                                sub, spec, overrides=overrides, instrument=False
+                            ).pairs,
+                            max_runs=minimize_budget,
+                        )
+                    report.divergences.append(
+                        Divergence(
+                            case=case.name,
+                            transform=transform.name,
+                            executor=spec.name,
+                            expected=len(expected),
+                            got=len(record.pairs),
+                            diff=diff,
+                            counterexample=counterexample,
+                        )
+                    )
+                for invariant in invariants:
+                    report.violations.extend(invariant.violations(record))
+
+        if obs_parity:
+            parity_specs = [
+                spec
+                for spec in executors
+                if not spec.sharded and (not quick or spec.algorithm == "s3j")
+            ]
+            for spec in parity_specs:
+                report.violations.extend(check_obs_parity(case, spec))
+                report.runs += 2
+
+    report.elapsed_s = time.monotonic() - started
+    return report

@@ -1,0 +1,216 @@
+"""Pluggable ledger-invariant checkers.
+
+Each checker inspects one :class:`~repro.verify.executors.RunRecord`
+and returns human-readable violation messages (empty list = holds).
+These are the paper's structural claims, enforced mechanically:
+
+- **phase-buckets-sum-to-total** — the per-phase ledger buckets add up
+  to the grand totals exactly: no I/O or counted CPU op ever escapes
+  phase attribution (Table 2's breakdown is exhaustive).
+- **join-reads-once** — S3J's join phase reads each sorted level-file
+  page at most once physically and processes every page exactly once
+  (the "strongly resembles an L-way merge sort" single-pass claim of
+  section 3.1).
+- **replication** — S3J never replicates (``r = 1.0`` exactly without
+  DSB filtering, equation 9); the R-tree and sweep references never
+  replicate either; SHJ never replicates data set A.
+
+Obs-on/obs-off ledger parity is a *differential* check (it needs two
+runs), so it lives in the harness (:func:`check_obs_parity`) rather
+than in the per-record protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.storage.iostats import PhaseStats
+from repro.verify.cases import VerifyCase
+from repro.verify.executors import (
+    SORTED_FILE_SUFFIX,
+    ExecutorSpec,
+    RunRecord,
+    run_executor,
+)
+
+NO_REPLICATION = {"s3j", "rtree", "sweep"}
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant failure, with enough context to reproduce."""
+
+    invariant: str
+    executor: str
+    case: str
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.invariant}] {self.executor} on {self.case}: {self.message}"
+
+
+class Invariant(ABC):
+    """One per-record invariant checker."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def check(self, record: RunRecord) -> list[str]:
+        """Violation messages for one run (empty when the invariant
+        holds or does not apply)."""
+
+    def violations(self, record: RunRecord) -> list[InvariantViolation]:
+        return [
+            InvariantViolation(
+                invariant=self.name,
+                executor=record.name,
+                case=record.case.name,
+                message=message,
+            )
+            for message in self.check(record)
+        ]
+
+
+class PhaseBucketsSumInvariant(Invariant):
+    """Per-phase buckets sum exactly to the ledger totals."""
+
+    name = "phase-buckets-sum-to-total"
+
+    _COUNTERS = (
+        "page_reads",
+        "page_writes",
+        "random_reads",
+        "random_writes",
+        "buffer_hits",
+    )
+
+    def check(self, record: RunRecord) -> list[str]:
+        if record.ledger_total is None:  # sharded runs keep no live ledger
+            return []
+        summed = PhaseStats()
+        for bucket in record.metrics.phases.values():
+            bucket.merged_into(summed)
+        problems = []
+        for counter in self._COUNTERS:
+            total = getattr(record.ledger_total, counter)
+            phased = getattr(summed, counter)
+            if total != phased:
+                problems.append(
+                    f"{counter}: phases sum to {phased}, total is {total}"
+                )
+        if summed.cpu_ops != record.ledger_total.cpu_ops:
+            problems.append(
+                f"cpu_ops: phases sum to {summed.cpu_ops}, "
+                f"total is {record.ledger_total.cpu_ops}"
+            )
+        return problems
+
+
+class JoinReadsOnceInvariant(Invariant):
+    """S3J's join phase touches each sorted level-file page once."""
+
+    name = "join-reads-once"
+
+    def check(self, record: RunRecord) -> list[str]:
+        if record.spec.algorithm != "s3j" or record.spec.sharded:
+            return []
+        if record.registry is None or not record.level_file_pages:
+            return []
+        problems = []
+        total_pages = 0
+        for file_name, pages in sorted(record.level_file_pages.items()):
+            if not file_name.endswith(SORTED_FILE_SUFFIX):
+                continue
+            total_pages += pages
+            reads = record.registry.counter_value(
+                "io.reads", file=file_name, kind="sequential"
+            ) + record.registry.counter_value(
+                "io.reads", file=file_name, kind="random"
+            )
+            if reads > pages:
+                problems.append(
+                    f"{file_name}: {reads} physical reads for {pages} pages "
+                    "(some page was read more than once)"
+                )
+        processed = record.registry.counter_total("scan.pages")
+        if processed != total_pages:
+            problems.append(
+                f"synchronized scan processed {processed} pages, sorted "
+                f"level files hold {total_pages}"
+            )
+        return problems
+
+
+class ReplicationInvariant(Invariant):
+    """Replication factors match each algorithm's paper claim."""
+
+    name = "replication"
+
+    def check(self, record: RunRecord) -> list[str]:
+        metrics = record.metrics
+        problems = []
+        algorithm = record.spec.algorithm
+        if algorithm in NO_REPLICATION:
+            for side, factor in (
+                ("r_A", metrics.replication_a),
+                ("r_B", metrics.replication_b),
+            ):
+                if factor != 1.0:
+                    problems.append(
+                        f"{side} = {factor!r}, expected exactly 1.0 "
+                        f"({algorithm} never replicates)"
+                    )
+        elif algorithm == "shj" and metrics.replication_a != 1.0:
+            problems.append(
+                f"r_A = {metrics.replication_a!r}, expected exactly 1.0 "
+                "(SHJ never replicates data set A)"
+            )
+        return problems
+
+
+DEFAULT_INVARIANTS: tuple[Invariant, ...] = (
+    PhaseBucketsSumInvariant(),
+    JoinReadsOnceInvariant(),
+    ReplicationInvariant(),
+)
+
+
+def check_obs_parity(
+    case: VerifyCase, spec: ExecutorSpec
+) -> list[InvariantViolation]:
+    """Run one executor twice — instrumented and not — and require the
+    identical pair set and the identical per-phase simulated ledger
+    (observability must never change a simulated count)."""
+    instrumented = run_executor(case, spec, instrument=True)
+    bare = run_executor(case, spec, instrument=False)
+    problems = []
+    if instrumented.pairs != bare.pairs:
+        problems.append(
+            f"pair sets differ: {len(instrumented.pairs)} instrumented "
+            f"vs {len(bare.pairs)} bare"
+        )
+    phases_on = {
+        name: stats.to_dict() for name, stats in instrumented.metrics.phases.items()
+    }
+    phases_off = {
+        name: stats.to_dict() for name, stats in bare.metrics.phases.items()
+    }
+    if phases_on != phases_off:
+        differing = sorted(
+            name
+            for name in set(phases_on) | set(phases_off)
+            if phases_on.get(name) != phases_off.get(name)
+        )
+        problems.append(
+            f"per-phase ledgers differ with observability on/off: {differing}"
+        )
+    return [
+        InvariantViolation(
+            invariant="obs-ledger-parity",
+            executor=spec.name,
+            case=case.name,
+            message=message,
+        )
+        for message in problems
+    ]

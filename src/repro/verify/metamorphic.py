@@ -1,0 +1,203 @@
+"""Metamorphic transforms: result-preserving input rewrites.
+
+Each transform rewrites a :class:`~repro.verify.cases.VerifyCase` into
+a new case whose correct answer is *known* from the original's — so a
+single workload yields a family of cross-checks:
+
+- ``axis-swap`` — mirror every MBR across the ``y = x`` diagonal; the
+  pair set is unchanged.
+- ``reflect-x`` — reflect the space horizontally (``x -> 1 - x``); the
+  pair set is unchanged.
+- ``swap-ab`` — exchange the roles of A and B; every pair flips.
+- ``zorder-curve`` — order S3J's level files by the Z-order curve
+  instead of Hilbert (section 3.1 lists both); the input and the pair
+  set are unchanged, only S3J's internal ordering moves.
+- ``grid-snap`` — snap every coordinate to a coarse power-of-two grid.
+  This *changes* the answer (so it is checked against the oracle only),
+  but floods the input with boundary-touching, grid-aligned, and
+  zero-area MBRs — the adversarial cases for closed-interval semantics.
+
+Transforms declare whether they preserve the pair set
+(:attr:`Transform.preserves_pairs`) and how pairs map
+(:meth:`Transform.map_pairs`); the harness additionally self-checks
+the *oracle* under every pair-preserving transform, so a buggy
+transform cannot silently weaken the differential run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.dataset import SpatialDataset
+from repro.join.result import Pair
+from repro.verify.cases import VerifyCase
+
+RectMap = Callable[[Rect], Rect]
+
+
+class Transform:
+    """Base: the identity transform."""
+
+    name = "identity"
+    description = "unchanged input"
+    preserves_pairs = True
+
+    def apply(self, case: VerifyCase) -> VerifyCase:
+        return case
+
+    def map_pairs(
+        self, pairs: frozenset[Pair], self_join: bool
+    ) -> frozenset[Pair]:
+        """Map the original case's pair set onto the transformed
+        case's expected pair set (only meaningful when
+        :attr:`preserves_pairs`)."""
+        return pairs
+
+    def param_overrides(self, algorithm: str) -> dict[str, Any]:
+        """Extra constructor parameters for one algorithm."""
+        return {}
+
+
+class GeometryTransform(Transform):
+    """Rewrite every entity MBR through a rectangle map."""
+
+    def __init__(self, name: str, description: str, rect_map: RectMap) -> None:
+        self.name = name
+        self.description = description
+        self._rect_map = rect_map
+
+    def _map_dataset(self, dataset: SpatialDataset, tag: str) -> SpatialDataset:
+        entities = [
+            Entity(entity.eid, self._rect_map(entity.mbr))
+            for entity in dataset
+        ]
+        return SpatialDataset(f"{dataset.name}.{tag}", entities)
+
+    def apply(self, case: VerifyCase) -> VerifyCase:
+        mapped_a = self._map_dataset(case.dataset_a, self.name)
+        if case.self_join:
+            mapped_b = mapped_a
+        else:
+            mapped_b = self._map_dataset(case.dataset_b, self.name)
+        return case.with_datasets(mapped_a, mapped_b, suffix=f"+{self.name}")
+
+
+class SwapABTransform(Transform):
+    """Exchange the two data sets; pairs flip orientation."""
+
+    name = "swap-ab"
+    description = "exchange the roles of A and B"
+
+    def apply(self, case: VerifyCase) -> VerifyCase:
+        if case.self_join:
+            return case.with_datasets(
+                case.dataset_a, case.dataset_b, suffix="+swap-ab"
+            )
+        return case.with_datasets(
+            case.dataset_b, case.dataset_a, suffix="+swap-ab"
+        )
+
+    def map_pairs(
+        self, pairs: frozenset[Pair], self_join: bool
+    ) -> frozenset[Pair]:
+        if self_join:
+            return pairs  # canonical (min, max) pairs are orderless
+        return frozenset((b, a) for a, b in pairs)
+
+
+class CurveSwapTransform(Transform):
+    """Run S3J over the Z-order curve instead of Hilbert.
+
+    The input is untouched; only S3J's internal level-file ordering
+    changes, so the pair set must be bit-identical (the prefix property
+    both curves share is all the synchronized scan relies on).
+    """
+
+    name = "zorder-curve"
+    description = "order S3J level files by Z-order instead of Hilbert"
+
+    def param_overrides(self, algorithm: str) -> dict[str, Any]:
+        if algorithm != "s3j":
+            return {}
+        from repro.curves.zorder import ZOrderCurve
+
+        return {"curve": ZOrderCurve()}
+
+
+def _axis_swap(rect: Rect) -> Rect:
+    return Rect(rect.ylo, rect.xlo, rect.yhi, rect.xhi)
+
+
+def _reflect_x(rect: Rect) -> Rect:
+    return Rect(1.0 - rect.xhi, rect.ylo, 1.0 - rect.xlo, rect.yhi)
+
+
+def _snapper(grid: int) -> RectMap:
+    def snap(value: float) -> float:
+        return round(value * grid) / grid
+
+    def snap_rect(rect: Rect) -> Rect:
+        return Rect(
+            snap(rect.xlo), snap(rect.ylo), snap(rect.xhi), snap(rect.yhi)
+        )
+
+    return snap_rect
+
+
+class GridSnapTransform(GeometryTransform):
+    """Snap all coordinates to the ``grid``-cell lattice.
+
+    Not pair-preserving: snapping moves geometry, so the transformed
+    case is validated against the oracle on the *snapped* input.  Its
+    value is adversarial: nearly every MBR in the result touches a grid
+    line, and many collapse to zero width or height.
+    """
+
+    preserves_pairs = False
+
+    def __init__(self, grid: int = 8) -> None:
+        if grid < 2:
+            raise ValueError("grid must be at least 2")
+        super().__init__(
+            f"grid-snap-{grid}",
+            f"snap coordinates to the 1/{grid} lattice",
+            _snapper(grid),
+        )
+
+
+AXIS_SWAP = GeometryTransform(
+    "axis-swap", "mirror MBRs across the y = x diagonal", _axis_swap
+)
+REFLECT_X = GeometryTransform(
+    "reflect-x", "reflect the space horizontally", _reflect_x
+)
+
+TRANSFORMS: dict[str, Transform] = {
+    transform.name: transform
+    for transform in (
+        Transform(),
+        AXIS_SWAP,
+        REFLECT_X,
+        SwapABTransform(),
+        CurveSwapTransform(),
+        GridSnapTransform(8),
+    )
+}
+
+QUICK_TRANSFORMS = ("axis-swap", "swap-ab", "zorder-curve", "grid-snap-8")
+FULL_TRANSFORMS = tuple(name for name in TRANSFORMS if name != "identity")
+
+
+def transforms_by_name(names: tuple[str, ...]) -> list[Transform]:
+    """Look transforms up by name (always including identity first)."""
+    unknown = set(names) - set(TRANSFORMS)
+    if unknown:
+        raise ValueError(
+            f"unknown transforms {sorted(unknown)}; "
+            f"choose from {sorted(TRANSFORMS)}"
+        )
+    picked = [TRANSFORMS["identity"]]
+    picked.extend(TRANSFORMS[name] for name in names if name != "identity")
+    return picked

@@ -1,0 +1,75 @@
+"""The brute-force oracle: the pair set every algorithm must produce.
+
+All-pairs MBR intersection over margin-expanded, unit-square-clamped
+boxes — exactly the boxes :meth:`SpatialDataset.write_descriptors`
+materializes for the filter step, under the library-wide
+closed-interval semantics (boundary contact counts).  Quadratic, but
+vectorized with NumPy so verification workloads of a few thousand
+entities stay fast; the oracle shares no code with any of the join
+algorithms beyond :class:`~repro.geometry.rect.Rect`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.join.dataset import SpatialDataset
+from repro.join.result import Pair, canonical_pairs
+from repro.verify.cases import VerifyCase
+
+
+def descriptor_boxes(
+    dataset: SpatialDataset, margin: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(eids, boxes)`` arrays of the filter-step boxes: each entity's
+    MBR expanded by ``margin`` per side and clamped to the unit square
+    (the exact box the descriptor files carry)."""
+    eids = np.empty(len(dataset), dtype=np.int64)
+    boxes = np.empty((len(dataset), 4), dtype=np.float64)
+    for row, entity in enumerate(dataset):
+        box = (
+            entity.mbr
+            if margin == 0.0
+            else entity.mbr.expanded(margin).clamped()
+        )
+        eids[row] = entity.eid
+        boxes[row] = (box.xlo, box.ylo, box.xhi, box.yhi)
+    return eids, boxes
+
+
+def oracle_pairs(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    margin: float = 0.0,
+) -> frozenset[Pair]:
+    """Every pair of MBR-intersecting entities, canonicalized the same
+    way the algorithms' results are (self join when both arguments are
+    the same object)."""
+    self_join = dataset_a is dataset_b
+    eids_a, boxes_a = descriptor_boxes(dataset_a, margin)
+    if self_join:
+        eids_b, boxes_b = eids_a, boxes_a
+    else:
+        eids_b, boxes_b = descriptor_boxes(dataset_b, margin)
+    if not len(eids_a) or not len(eids_b):
+        return frozenset()
+
+    # Closed-interval intersection, broadcast to an |A| x |B| mask.
+    a = boxes_a[:, None, :]
+    b = boxes_b[None, :, :]
+    mask = (
+        (a[..., 0] <= b[..., 2])
+        & (b[..., 0] <= a[..., 2])
+        & (a[..., 1] <= b[..., 3])
+        & (b[..., 1] <= a[..., 3])
+    )
+    rows, cols = np.nonzero(mask)
+    raw = {
+        (int(eids_a[i]), int(eids_b[j])) for i, j in zip(rows, cols)
+    }
+    return canonical_pairs(raw, self_join)
+
+
+def oracle_for_case(case: VerifyCase) -> frozenset[Pair]:
+    """The oracle pair set of one verification case."""
+    return oracle_pairs(case.dataset_a, case.dataset_b, margin=case.margin)

@@ -26,6 +26,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["join", "--workload", "XYZ"])
 
+    @pytest.mark.parametrize("value", ["0", "-2", "abc", "1.5"])
+    def test_rejects_bad_worker_counts(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--workers", value])
+        err = capsys.readouterr().err
+        assert "must be at least 1" in err or "is not an integer" in err
+
+    @pytest.mark.parametrize("value", ["0", "17", "-3", "two"])
+    def test_rejects_bad_shard_levels(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--shard-level", value])
+        err = capsys.readouterr().err
+        assert "between 1 and 16" in err or "is not an integer" in err
+
+    def test_accepts_valid_sharding(self):
+        args = build_parser().parse_args(
+            ["join", "--workers", "4", "--shard-level", "2"]
+        )
+        assert args.workers == 4
+        assert args.shard_level == 2
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify", "--quick"])
+        assert args.quick
+        assert args.workers == 2
+        assert not args.no_minimize
+
+    def test_verify_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--workers", "0"])
+
 
 class TestCommands:
     def test_table3(self, capsys):
@@ -63,6 +94,55 @@ class TestCommands:
         assert main(["table4", "--only", "UN1-UN2", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "UN1-UN2" in out
+
+
+class TestVerifyCommand:
+    def test_single_workload_passes(self, capsys):
+        assert main(
+            [
+                "verify",
+                "--workloads",
+                "grid-aligned",
+                "--algorithms",
+                "s3j,sweep",
+                "--transforms",
+                "axis-swap",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "PASS" in captured.out
+        assert "grid-aligned" in captured.out
+        assert "case grid-aligned" in captured.err  # progress goes to stderr
+
+    def test_json_report(self, capsys):
+        assert main(
+            [
+                "verify",
+                "--workloads",
+                "uniform",
+                "--algorithms",
+                "sweep",
+                "--transforms",
+                "swap-ab",
+                "--json",
+            ]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["cases"] == ["uniform"]
+        assert report["runs"] > 0
+
+    def test_unknown_algorithm_exits_2(self, capsys):
+        assert main(["verify", "--algorithms", "nested"]) == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["verify", "--workloads", "no-such"]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_unknown_transform_exits_2(self, capsys):
+        assert main(["verify", "--transforms", "rotate-45"]) == 2
+        assert "unknown transforms" in capsys.readouterr().err
 
 
 class TestObservabilityFlags:

@@ -101,7 +101,7 @@ class TestCanonicalPairs:
 
 class TestSpatialJoinAPI:
     def test_algorithms_listed(self):
-        assert available_algorithms() == ("pbsm", "s3j", "shj")
+        assert available_algorithms() == ("pbsm", "rtree", "s3j", "shj", "sweep")
 
     def test_unknown_algorithm_raises(self):
         a = make_squares(10, 0.1, seed=4)

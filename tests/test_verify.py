@@ -1,0 +1,356 @@
+"""Tests for the differential correctness harness (repro.verify)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.dataset import SpatialDataset
+from repro.join.predicates import WithinDistance
+from repro.storage.records import XHI, XLO, YHI, YLO
+from repro.verify import (
+    DEFAULT_INVARIANTS,
+    ExecutorSpec,
+    JoinReadsOnceInvariant,
+    PhaseBucketsSumInvariant,
+    ReplicationInvariant,
+    VerifyCase,
+    cases_by_name,
+    check_obs_parity,
+    check_partition_conformance,
+    default_executors,
+    diff_pairs,
+    minimize_counterexample,
+    oracle_pairs,
+    run_executor,
+    run_verify,
+    transforms_by_name,
+)
+from repro.verify.metamorphic import TRANSFORMS, CurveSwapTransform
+from repro.verify.workloads import degenerate_dataset, grid_aligned_dataset
+from tests.conftest import brute_force_pairs, brute_force_self_pairs
+
+# Dyadic coordinates: exactly representable, and they land on the grid
+# lines where closed-interval bugs live.
+dyadic = st.integers(0, 32).map(lambda k: k / 32)
+
+
+def rect_strategy():
+    return st.tuples(dyadic, dyadic, dyadic, dyadic).map(
+        lambda c: Rect(
+            min(c[0], c[2]), min(c[1], c[3]), max(c[0], c[2]), max(c[1], c[3])
+        )
+    )
+
+
+def dataset_strategy(name, max_size=12):
+    return st.lists(rect_strategy(), min_size=0, max_size=max_size).map(
+        lambda rects: SpatialDataset(
+            name, [Entity(eid, rect) for eid, rect in enumerate(rects)]
+        )
+    )
+
+
+class TestOracle:
+    @given(dataset_strategy("A"), dataset_strategy("B"))
+    def test_matches_brute_force(self, dataset_a, dataset_b):
+        assert oracle_pairs(dataset_a, dataset_b) == brute_force_pairs(
+            dataset_a, dataset_b
+        )
+
+    @given(dataset_strategy("A"))
+    def test_self_join_matches_brute_force(self, dataset):
+        assert oracle_pairs(dataset, dataset) == brute_force_self_pairs(dataset)
+
+    @given(dataset_strategy("A"), dataset_strategy("B"))
+    def test_margin_matches_brute_force(self, dataset_a, dataset_b):
+        margin = WithinDistance(0.125).mbr_margin
+        assert oracle_pairs(
+            dataset_a, dataset_b, margin=margin
+        ) == brute_force_pairs(dataset_a, dataset_b, margin=margin)
+
+    def test_empty_dataset(self):
+        empty = SpatialDataset("E", [])
+        other = SpatialDataset("O", [Entity(0, Rect(0, 0, 1, 1))])
+        assert oracle_pairs(empty, other) == frozenset()
+        assert oracle_pairs(empty, empty) == frozenset()
+
+    def test_self_join_excludes_identity_pairs(self):
+        dataset = SpatialDataset(
+            "S", [Entity(i, Rect(0, 0, 1, 1)) for i in range(3)]
+        )
+        assert oracle_pairs(dataset, dataset) == frozenset(
+            {(0, 1), (0, 2), (1, 2)}
+        )
+
+
+class TestMetamorphic:
+    @given(dataset_strategy("A", 10), dataset_strategy("B", 10))
+    def test_geometry_transforms_preserve_oracle(self, dataset_a, dataset_b):
+        base = VerifyCase("t", dataset_a, dataset_b)
+        expected = oracle_pairs(dataset_a, dataset_b)
+        for name in ("axis-swap", "reflect-x"):
+            transform = TRANSFORMS[name]
+            variant = transform.apply(base)
+            mapped = transform.map_pairs(expected, base.self_join)
+            assert (
+                oracle_pairs(variant.dataset_a, variant.dataset_b) == mapped
+            ), name
+
+    @given(dataset_strategy("A", 10), dataset_strategy("B", 10))
+    def test_swap_ab_flips_pairs(self, dataset_a, dataset_b):
+        transform = TRANSFORMS["swap-ab"]
+        base = VerifyCase("t", dataset_a, dataset_b)
+        variant = transform.apply(base)
+        assert variant.dataset_a is dataset_b
+        mapped = transform.map_pairs(
+            oracle_pairs(dataset_a, dataset_b), self_join=False
+        )
+        assert oracle_pairs(variant.dataset_a, variant.dataset_b) == mapped
+
+    def test_swap_ab_keeps_self_join_identity(self):
+        dataset = grid_aligned_dataset(8, 20, seed=1, name="G")
+        base = VerifyCase("t", dataset, dataset)
+        variant = TRANSFORMS["swap-ab"].apply(base)
+        assert variant.self_join
+
+    def test_geometry_transform_keeps_self_join_identity(self):
+        dataset = grid_aligned_dataset(8, 20, seed=1, name="G")
+        variant = TRANSFORMS["axis-swap"].apply(VerifyCase("t", dataset, dataset))
+        assert variant.self_join
+
+    def test_grid_snap_not_pair_preserving(self):
+        assert not TRANSFORMS["grid-snap-8"].preserves_pairs
+
+    def test_curve_swap_only_touches_s3j(self):
+        transform = CurveSwapTransform()
+        assert transform.param_overrides("pbsm") == {}
+        overrides = transform.param_overrides("s3j")
+        assert type(overrides["curve"]).__name__ == "ZOrderCurve"
+
+    def test_transforms_by_name_identity_first(self):
+        picked = transforms_by_name(("swap-ab", "axis-swap"))
+        assert [t.name for t in picked] == ["identity", "swap-ab", "axis-swap"]
+
+    def test_transforms_by_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown transforms"):
+            transforms_by_name(("rotate-45",))
+
+
+class TestDiffAndMinimize:
+    def test_diff_pairs(self):
+        diff = diff_pairs(frozenset({(1, 2), (3, 4)}), frozenset({(3, 4), (5, 6)}))
+        assert diff.missing == frozenset({(1, 2)})
+        assert diff.extra == frozenset({(5, 6)})
+        assert not diff.empty
+        assert "1 missing" in diff.describe() and "1 extra" in diff.describe()
+
+    def test_minimizer_shrinks_to_culprit_pair(self):
+        """A runner that drops exactly one oracle pair must shrink to
+        (roughly) the two entities of that pair."""
+        dataset_a = grid_aligned_dataset(8, 40, seed=7, name="MA")
+        dataset_b = grid_aligned_dataset(8, 40, seed=8, name="MB")
+        case = VerifyCase("min", dataset_a, dataset_b)
+        dropped = min(oracle_pairs(dataset_a, dataset_b))
+
+        def broken_runner(sub):
+            return frozenset(
+                oracle_pairs(sub.dataset_a, sub.dataset_b) - {dropped}
+            )
+
+        counterexample = minimize_counterexample(case, broken_runner, max_runs=120)
+        assert counterexample.diff.missing == frozenset({dropped})
+        assert len(counterexample.entities_a) == 1
+        assert len(counterexample.entities_b) == 1
+        assert counterexample.runs_used <= 120
+        assert "missing" in counterexample.describe()
+
+    def test_minimizer_self_join_keeps_identity(self):
+        dataset = grid_aligned_dataset(8, 30, seed=9, name="MS")
+        case = VerifyCase("min-self", dataset, dataset)
+        dropped = min(oracle_pairs(dataset, dataset))
+
+        def broken_runner(sub):
+            assert sub.self_join
+            return frozenset(
+                oracle_pairs(sub.dataset_a, sub.dataset_b) - {dropped}
+            )
+
+        counterexample = minimize_counterexample(case, broken_runner, max_runs=120)
+        assert counterexample.self_join
+        assert counterexample.diff.missing == frozenset({dropped})
+        assert len(counterexample.entities_a) == 2
+
+
+class TestExecutors:
+    def test_default_roster(self):
+        names = [spec.name for spec in default_executors()]
+        assert names == ["pbsm", "rtree", "s3j", "shj", "sweep", "s3j@2w"]
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithms"):
+            default_executors(algorithms=("s3j", "nested"))
+
+    def test_serial_run_captures_ledger(self):
+        case = small_case()
+        record = run_executor(case, ExecutorSpec("s3j"))
+        assert record.pairs == oracle_pairs(case.dataset_a, case.dataset_b)
+        assert record.ledger_total is not None
+        assert record.registry is not None
+        assert record.level_file_pages  # S3J leaves sorted level files
+
+    def test_uninstrumented_run_has_no_registry(self):
+        record = run_executor(small_case(), ExecutorSpec("sweep"), instrument=False)
+        assert record.registry is None
+
+
+def small_case() -> VerifyCase:
+    return VerifyCase(
+        "small",
+        grid_aligned_dataset(8, 30, seed=11, name="SA"),
+        grid_aligned_dataset(8, 30, seed=12, name="SB"),
+    )
+
+
+class TestInvariants:
+    def test_healthy_s3j_run_passes_all(self):
+        record = run_executor(small_case(), ExecutorSpec("s3j"))
+        for invariant in DEFAULT_INVARIANTS:
+            assert invariant.violations(record) == []
+
+    def test_phase_buckets_detects_leak(self):
+        record = run_executor(small_case(), ExecutorSpec("s3j"))
+        bucket = next(iter(record.metrics.phases.values()))
+        bucket.page_reads += 1  # doctor: a read escapes attribution
+        violations = PhaseBucketsSumInvariant().violations(record)
+        assert len(violations) == 1
+        assert "page_reads" in violations[0].message
+
+    def test_join_reads_once_detects_rescan(self):
+        record = run_executor(small_case(), ExecutorSpec("s3j"))
+        # Doctor: claim the sorted files are smaller than they are, so
+        # the recorded physical reads look like re-reads.
+        record.level_file_pages = {
+            name: max(pages - 1, 0)
+            for name, pages in record.level_file_pages.items()
+        }
+        violations = JoinReadsOnceInvariant().violations(record)
+        assert violations
+        assert any("pages" in v.message for v in violations)
+
+    def test_join_reads_once_ignores_other_algorithms(self):
+        record = run_executor(small_case(), ExecutorSpec("sweep"))
+        assert JoinReadsOnceInvariant().violations(record) == []
+
+    def test_replication_detects_fudged_factor(self):
+        record = run_executor(small_case(), ExecutorSpec("s3j"))
+        record.metrics.replication_a = 1.25
+        violations = ReplicationInvariant().violations(record)
+        assert len(violations) == 1
+        assert "r_A" in violations[0].message
+
+    def test_obs_parity_holds(self):
+        assert check_obs_parity(small_case(), ExecutorSpec("s3j")) == []
+
+
+class TestConformance:
+    def test_grid_aligned_workload_conforms(self):
+        case = cases_by_name(("grid-aligned",))[0]
+        checked, violations = check_partition_conformance(case)
+        assert checked == len(case.dataset_a) + len(case.dataset_b)
+        assert violations == []
+
+    def test_degenerate_workload_conforms(self):
+        dataset = degenerate_dataset(8, 60, seed=3, name="D")
+        checked, violations = check_partition_conformance(
+            VerifyCase("deg", dataset, dataset)
+        )
+        assert checked == len(dataset)
+        assert violations == []
+
+    def test_catches_exclusive_hi_quantization(self, monkeypatch):
+        """Reverting the cell_of fix (high corners quantized exclusively,
+        the pre-fix behavior) must be caught by the conformance check."""
+        from repro.filtertree.levels import LevelAssigner
+
+        monkeypatch.setattr(
+            LevelAssigner, "quantize_hi", LevelAssigner.quantize
+        )
+        case = cases_by_name(("grid-aligned",))[0]
+        _, violations = check_partition_conformance(case)
+        assert violations
+        assert all(v.invariant == "partition-conformance" for v in violations)
+        assert any("raised at level" in v.message for v in violations)
+
+
+class TestHarness:
+    def test_small_sweep_passes(self):
+        report = run_verify(
+            quick=True,
+            cases=[small_case()],
+            transforms=transforms_by_name(("axis-swap", "swap-ab")),
+            executors=[ExecutorSpec("s3j"), ExecutorSpec("sweep")],
+        )
+        assert report.ok
+        # 3 variants x 2 executors + 1 obs-parity pair (s3j only in quick).
+        assert report.runs == 3 * 2 + 2
+        assert report.pairs_checked > 0
+        assert report.conformance_boxes == 60
+        assert "PASS" in report.summary()
+        assert report.to_dict()["ok"] is True
+
+    def test_catches_boundary_dropping_join(self, monkeypatch):
+        """A join kernel that drops boundary-contact pairs (the classic
+        open-interval bug) must produce a minimized divergence."""
+        import repro.baselines.sweep_join as sweep_module
+        from repro.sweep.plane_sweep import sweep_intersections as real_sweep
+
+        def open_interval_sweep(left, right, **kwargs):
+            for rec_a, rec_b in real_sweep(left, right, **kwargs):
+                touching = (
+                    rec_a[XHI] == rec_b[XLO]
+                    or rec_b[XHI] == rec_a[XLO]
+                    or rec_a[YHI] == rec_b[YLO]
+                    or rec_b[YHI] == rec_a[YLO]
+                )
+                if not touching:
+                    yield rec_a, rec_b
+
+        monkeypatch.setattr(
+            sweep_module, "sweep_intersections", open_interval_sweep
+        )
+        report = run_verify(
+            quick=True,
+            cases=[small_case()],
+            transforms=transforms_by_name(()),
+            executors=[ExecutorSpec("sweep")],
+            obs_parity=False,
+        )
+        assert not report.ok
+        assert report.divergences
+        divergence = report.divergences[0]
+        assert divergence.executor == "sweep"
+        assert divergence.diff.missing and not divergence.diff.extra
+        counterexample = divergence.counterexample
+        assert counterexample is not None
+        assert len(counterexample.entities_a) <= 2
+        assert len(counterexample.entities_b) <= 2
+        assert "FAIL" in report.summary()
+
+    def test_workload_catalog(self):
+        with pytest.raises(ValueError, match="unknown workloads"):
+            cases_by_name(("no-such-workload",))
+        (case,) = cases_by_name(("mixed-self",))
+        assert case.self_join
+
+    @settings(deadline=None, max_examples=5)
+    @given(st.integers(0, 3))
+    def test_generated_workloads_deterministic_in_seed(self, seed):
+        first = cases_by_name(("grid-aligned",), seed=seed)[0]
+        second = cases_by_name(("grid-aligned",), seed=seed)[0]
+        assert [e.mbr for e in first.dataset_a] == [
+            e.mbr for e in second.dataset_a
+        ]
