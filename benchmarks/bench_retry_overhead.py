@@ -1,0 +1,135 @@
+"""E-FAULT — overhead and recovery cost of the retrying storage layer.
+
+Three configurations of one S3J run over a uniform workload:
+
+- **plain** — no fault subsystem at all (the default storage stack);
+- **layered** — :class:`~repro.faults.retry.RetryPolicy` plus an
+  explicitly fault-free plan installed.  The parity gate: pairs and the
+  full per-phase simulated ledger must match ``plain`` exactly, and the
+  wall-clock overhead of the pass-through wrappers is reported;
+- **faulty** — a seeded transient-fault plan under the same retry
+  policy, reporting how many injections the retries absorbed and what
+  the recovery cost (simulated backoff + fault latency) came to.
+
+Emits ``BENCH_retry_overhead.json``; exits non-zero on any parity
+violation::
+
+    python -m benchmarks.bench_retry_overhead [--entities 20000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from repro.faults import NO_FAULTS, FaultPlan, RetryPolicy
+from repro.join.api import spatial_join
+from repro.obs import Observability
+from repro.storage.manager import StorageConfig
+
+from benchmarks.artifacts import write_bench_artifact
+from tests.conftest import make_squares
+
+NUM_ENTITIES = 20000
+TRANSIENT_RATE = 0.002
+
+
+def timed_join(dataset_a, dataset_b, config, obs=None):
+    start = time.perf_counter()
+    result = spatial_join(
+        dataset_a, dataset_b, algorithm="s3j", storage=config, obs=obs
+    )
+    return result, time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--entities", type=int, default=NUM_ENTITIES)
+    args = parser.parse_args(argv)
+
+    dataset_a = make_squares(args.entities, 0.002, seed=20260806, name="flt-A")
+    dataset_b = make_squares(args.entities, 0.003, seed=20260807, name="flt-B")
+    base_config = StorageConfig(buffer_pages=256)
+    retry = RetryPolicy(max_attempts=4)
+
+    plain, plain_s = timed_join(dataset_a, dataset_b, base_config)
+    layered, layered_s = timed_join(
+        dataset_a,
+        dataset_b,
+        dataclasses.replace(base_config, retry=retry, fault_plan=NO_FAULTS),
+    )
+
+    failures: list[str] = []
+    if layered.pairs != plain.pairs:
+        failures.append(
+            f"parity: layered pairs {len(layered.pairs)} != plain {len(plain.pairs)}"
+        )
+    plain_ledger = {n: s.to_dict() for n, s in plain.metrics.phases.items()}
+    layered_ledger = {n: s.to_dict() for n, s in layered.metrics.phases.items()}
+    if plain_ledger != layered_ledger:
+        failures.append("parity: per-phase ledgers differ under the retry layer")
+
+    faulty_plan = FaultPlan(
+        seed=7,
+        transient_read_rate=TRANSIENT_RATE,
+        transient_write_rate=TRANSIENT_RATE,
+    )
+    obs = Observability()
+    faulty, faulty_s = timed_join(
+        dataset_a,
+        dataset_b,
+        dataclasses.replace(base_config, retry=retry, fault_plan=faulty_plan),
+        obs=obs,
+    )
+    injected = obs.metrics.counter_total("faults.injected")
+    absorbed = obs.metrics.counter_total("faults.retries_succeeded")
+    if faulty.pairs != plain.pairs:
+        failures.append(
+            f"recovery: pairs diverged after absorbing {absorbed} fault(s)"
+        )
+    if injected == 0:
+        failures.append("recovery: the faulty configuration injected nothing")
+
+    backoff = obs.metrics.histogram("faults.backoff_s")
+    payload = {
+        "entities_per_side": args.entities,
+        "pairs": len(plain.pairs),
+        "plain_wall_s": plain_s,
+        "layered_wall_s": layered_s,
+        "layer_overhead_pct": 100.0 * (layered_s - plain_s) / plain_s,
+        "ledger_parity": plain_ledger == layered_ledger,
+        "faulty": {
+            "transient_rate": TRANSIENT_RATE,
+            "wall_s": faulty_s,
+            "injected": injected,
+            "retries_attempted": obs.metrics.counter_total(
+                "faults.retries_attempted"
+            ),
+            "retries_succeeded": absorbed,
+            "giveups": obs.metrics.counter_total("faults.giveups"),
+            "simulated_backoff_s": backoff.total if backoff else 0.0,
+            "fault_latency_ops": sum(
+                s.cpu_ops.get("fault_latency", 0)
+                for s in faulty.metrics.phases.values()
+            ),
+        },
+    }
+    path = write_bench_artifact("retry_overhead", payload)
+
+    print(
+        f"plain={plain_s:.2f}s  layered={layered_s:.2f}s "
+        f"(overhead {payload['layer_overhead_pct']:+.1f}%)  "
+        f"faulty={faulty_s:.2f}s absorbed {absorbed}/{injected} injection(s)"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"retry overhead OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,13 @@ harness (:mod:`repro.verify`) — every registered algorithm plus a
 sharded run, cross-checked against the brute-force oracle under
 metamorphic transforms and ledger invariants — and exits non-zero on
 any divergence.
+
+Fault tolerance (DESIGN.md section 11): ``join --retry-attempts`` /
+``--retry-backoff`` install the retrying storage layer,
+``join --inject-crash cell-0 --workers 2`` kills a shard's first worker
+attempt to exercise recovery, and ``verify --chaos --cases N`` reruns
+the harness under N sampled fault plans asserting the
+correct/typed-failure/partial trichotomy.
 """
 
 from __future__ import annotations
@@ -106,6 +113,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="Filter-Tree level k of the 4^k shard grid (default: from --workers)",
     )
     join.add_argument(
+        "--retry-attempts",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="install a retrying storage layer with N attempts per I/O",
+    )
+    join.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="base backoff of the retry layer (simulated; default 0.005)",
+    )
+    join.add_argument(
+        "--inject-crash",
+        default=None,
+        metavar="SHARDS",
+        help="comma-separated shard ids whose first worker attempt dies "
+        "(e.g. cell-0); needs --workers > 1 or --shard-level",
+    )
+    join.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -129,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="CI smoke configuration: 3 workloads, 4 transforms",
+    )
+    verify.add_argument(
+        "--chaos",
+        action="store_true",
+        help="chaos mode: rerun the harness under sampled fault plans "
+        "and assert the correct/typed-failure/partial trichotomy",
+    )
+    verify.add_argument(
+        "--cases",
+        type=_positive_int,
+        default=25,
+        metavar="N",
+        help="number of sampled fault scenarios in chaos mode (default 25)",
     )
     verify.add_argument(
         "--workloads",
@@ -192,6 +233,30 @@ def cmd_join(args: argparse.Namespace) -> int:
             print("--tiles only applies to pbsm", file=sys.stderr)
             return 2
         params["tiles_per_dim"] = args.tiles
+    retry = None
+    if args.retry_attempts is not None or args.retry_backoff is not None:
+        from repro.faults import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=args.retry_attempts or 3,
+            base_backoff_s=(
+                args.retry_backoff if args.retry_backoff is not None else 0.005
+            ),
+        )
+    fault_plan = None
+    if args.inject_crash:
+        if args.workers == 1 and args.shard_level is None:
+            print(
+                "--inject-crash needs a sharded run "
+                "(--workers > 1 or --shard-level)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan(
+            crash_shards=tuple(args.inject_crash.split(","))
+        )
     obs = Observability() if (args.report or args.trace) else None
     run = run_algorithm(
         dataset_a,
@@ -202,6 +267,8 @@ def cmd_join(args: argparse.Namespace) -> int:
         obs=obs,
         workers=args.workers,
         shard_level=args.shard_level,
+        retry=retry,
+        fault_plan=fault_plan,
         **params,
     )
     metrics = run.result.metrics
@@ -240,9 +307,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import (
         cases_by_name,
         default_executors,
+        run_chaos,
         run_verify,
         transforms_by_name,
     )
+
+    if args.chaos:
+        report = run_chaos(
+            cases=args.cases,
+            seed=args.seed,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
 
     algorithms = tuple(args.algorithms.split(",")) if args.algorithms else None
     try:

@@ -16,10 +16,13 @@ experiments:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Any
 
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.join.api import spatial_join
 from repro.join.dataset import SpatialDataset
 from repro.join.predicates import Intersects, JoinPredicate
@@ -97,6 +100,8 @@ def run_algorithm(
     obs: Observability | None = None,
     workers: int = 1,
     shard_level: int | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
     **params: Any,
 ) -> ExperimentResult:
     """Run one algorithm on one workload under paper conditions.
@@ -106,8 +111,14 @@ def run_algorithm(
     ``workers``/``shard_level`` select the sharded parallel executor
     (:mod:`repro.parallel`); the per-shard storage managers all use
     this experiment's paper-faithful configuration.
+
+    ``retry`` installs a retrying storage layer and ``fault_plan``
+    a fault-injecting one (DESIGN.md section 11) — both ride inside the
+    storage config, so sharded runs apply them in every worker too.
     """
     config = make_storage_config(dataset_a, dataset_b, scale=scale)
+    if retry is not None or fault_plan is not None:
+        config = dataclasses.replace(config, retry=retry, fault_plan=fault_plan)
     result = spatial_join(
         dataset_a,
         dataset_b,

@@ -31,14 +31,37 @@ Merging rules (DESIGN.md section 9):
   ``parallel_join`` root as ``shard:<id>`` children; worker metric
   registries fold into the caller's via
   :meth:`~repro.obs.metrics.MetricsRegistry.merge_dump`.
+
+Fault tolerance (DESIGN.md section 11): shards are dispatched in
+rounds.  A shard whose worker times out (``shard_timeout_s``) or dies
+(:class:`BrokenProcessPool`, or an injected
+:class:`~repro.faults.errors.WorkerCrashError`) is re-dispatched up to
+``shard_retries`` extra attempts on a fresh pool; any *other* worker
+exception is deterministic (a rerun replays the same fault plan) and
+fails the shard at once.  Two broken pools degrade the run to
+in-process execution.  Shards still dead after the retry budget either
+raise :class:`~repro.faults.errors.ShardExecutionError` (the default)
+or — with ``partial_results=True`` — come back as structured
+:class:`~repro.faults.errors.ShardFailure` reports on
+:attr:`JoinResult.failures`, with pairs from the completed shards only.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
+from repro.faults.errors import (
+    ShardExecutionError,
+    ShardFailure,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
 from repro.join.dataset import SpatialDataset
 from repro.join.metrics import JoinMetrics
 from repro.join.predicates import Intersects, JoinPredicate
@@ -47,6 +70,10 @@ from repro.obs import NULL_TRACER, Observability, Span, TABLE2_PHASES
 from repro.parallel.planner import ShardPlan, ShardTask, default_shard_level, plan_shards
 from repro.storage.iostats import PhaseStats
 from repro.storage.manager import StorageConfig, StorageManager
+
+POOL_BREAKS_BEFORE_DEGRADE = 2
+"""Broken process pools tolerated before the executor stops trusting
+subprocesses and degrades the rest of the run to in-process execution."""
 
 
 def _shard_payload(
@@ -88,6 +115,20 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
         dataset_a if payload["self_join"] else payload["dataset_b"]
     )
     config: StorageConfig | None = payload["config"]
+    fault_plan = config.fault_plan if config is not None else None
+    if fault_plan is not None:
+        shard_id = payload["shard_id"]
+        attempt = payload.get("attempt", 1)
+        if fault_plan.delays_shard(shard_id, attempt):
+            time.sleep(fault_plan.delay_s)  # real time: exercises timeouts
+        if fault_plan.crashes_shard(shard_id, attempt):
+            if payload.get("in_subprocess"):
+                # Die the way a real crashed worker does — no exception,
+                # no cleanup — so the executor sees a broken pool.
+                os._exit(23)
+            raise WorkerCrashError(
+                f"injected crash of shard {shard_id} (attempt {attempt})"
+            )
     if config is not None and config.backend == "disk" and config.directory is not None:
         # A shared on-disk directory would collide across shards (every
         # sub-join names its files input-A-<n>...): give each worker a
@@ -118,6 +159,177 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
         out["metric_series"] = obs.metrics.as_dict()
         out["spans"] = obs.tracer.to_dicts()
     return out
+
+
+def _attempt_payload(
+    payload: dict[str, Any], attempt: int, in_subprocess: bool
+) -> dict[str, Any]:
+    """The payload for one dispatch attempt of one shard."""
+    updated = dict(payload)
+    updated["attempt"] = attempt
+    updated["in_subprocess"] = in_subprocess
+    return updated
+
+
+def _retryable(error: BaseException) -> bool:
+    """Whether re-dispatching the shard could plausibly help.
+
+    Timeouts and worker deaths are environmental; anything else a
+    worker raises is deterministic — the shard replays the same fault
+    plan on a rerun — so it fails the shard immediately.
+    """
+    return isinstance(error, (ShardTimeoutError, WorkerCrashError))
+
+
+def _dispatch_round(
+    entries: list[tuple[int, dict[str, Any]]],
+    pool_size: int,
+    timeout_s: float | None,
+) -> tuple[dict[int, dict[str, Any]], dict[int, BaseException], bool]:
+    """Run one round of shard attempts on a fresh process pool.
+
+    Returns per-index results, per-index errors, and whether the pool
+    broke.  A round that saw a timeout or a broken pool abandons its
+    pool without waiting (stragglers exit on their own) so a hung shard
+    cannot hang the executor.
+    """
+    results: dict[int, dict[str, Any]] = {}
+    errors: dict[int, BaseException] = {}
+    pool_broke = False
+    abandoned = False
+    pool = ProcessPoolExecutor(max_workers=pool_size)
+    try:
+        futures = [
+            (index, payload, pool.submit(_run_shard, payload))
+            for index, payload in entries
+        ]
+        for index, payload, future in futures:
+            shard_id = payload["shard_id"]
+            try:
+                results[index] = future.result(timeout=timeout_s)
+            except FuturesTimeoutError:
+                errors[index] = ShardTimeoutError(
+                    f"shard {shard_id} exceeded the per-shard timeout "
+                    f"of {timeout_s}s"
+                )
+                abandoned = True
+            except BrokenProcessPool:
+                # The crashed worker takes the whole pool down, so
+                # every unfinished shard of this round lands here; all
+                # of them are innocent-until-retried next round.
+                errors[index] = WorkerCrashError(
+                    f"worker process died while shard {shard_id} was "
+                    f"in flight (broken process pool)"
+                )
+                pool_broke = True
+                abandoned = True
+            except Exception as error:
+                errors[index] = error
+    finally:
+        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+    return results, errors, pool_broke
+
+
+def _execute_tasks(
+    payloads: list[dict[str, Any]],
+    tasks: list[ShardTask],
+    workers: int,
+    shard_timeout_s: float | None,
+    max_attempts: int,
+    obs: Observability | None,
+) -> tuple[list[dict[str, Any] | None], tuple[ShardFailure, ...]]:
+    """Run every shard, re-dispatching recoverable failures.
+
+    Returns the per-shard results in plan order (``None`` where a shard
+    ultimately failed) plus the structured failure reports.
+    """
+    metrics = obs.active_metrics if obs is not None else None
+    count = len(payloads)
+    results: list[dict[str, Any] | None] = [None] * count
+    failures: dict[int, ShardFailure] = {}
+    attempts = [0] * count
+    grace_used = [False] * count
+    pending = list(range(count))
+    in_process = workers == 1 or count <= 1
+    pool_breaks = 0
+    while pending:
+        round_entries: list[tuple[int, dict[str, Any]]] = []
+        for index in pending:
+            attempts[index] += 1
+            round_entries.append(
+                (
+                    index,
+                    _attempt_payload(
+                        payloads[index], attempts[index], not in_process
+                    ),
+                )
+            )
+        if in_process:
+            round_results: dict[int, dict[str, Any]] = {}
+            round_errors: dict[int, BaseException] = {}
+            pool_broke = False
+            for index, payload in round_entries:
+                try:
+                    round_results[index] = _run_shard(payload)
+                except Exception as error:
+                    round_errors[index] = error
+        else:
+            round_results, round_errors, pool_broke = _dispatch_round(
+                round_entries, min(workers, len(round_entries)), shard_timeout_s
+            )
+        for index, result in round_results.items():
+            results[index] = result
+        retry_queue: list[int] = []
+        degrade = False
+        for index, error in sorted(round_errors.items()):
+            task = tasks[index]
+            if isinstance(error, ShardTimeoutError) and metrics is not None:
+                metrics.count("parallel.shard_timeouts")
+            if _retryable(error) and attempts[index] < max_attempts:
+                retry_queue.append(index)
+                if metrics is not None:
+                    metrics.count(
+                        "parallel.redispatches", error=type(error).__name__
+                    )
+                continue
+            if (
+                isinstance(error, WorkerCrashError)
+                and not in_process
+                and not grace_used[index]
+            ):
+                # A broken pool takes every in-flight shard down with
+                # the crasher, so a crash here may be collateral: grant
+                # one final *in-process* attempt, where a genuine
+                # crasher fails deterministically on its own and the
+                # innocent shards complete.
+                grace_used[index] = True
+                degrade = True
+                retry_queue.append(index)
+                continue
+            failures[index] = ShardFailure(
+                shard_id=task.shard_id,
+                kind=task.kind,
+                error_type=type(error).__name__,
+                message=str(error),
+                attempts=attempts[index],
+            )
+            if metrics is not None:
+                metrics.count(
+                    "parallel.shard_failures", error=type(error).__name__
+                )
+        if pool_broke:
+            pool_breaks += 1
+            if metrics is not None:
+                metrics.count("parallel.pool_breaks")
+            if pool_breaks >= POOL_BREAKS_BEFORE_DEGRADE:
+                degrade = True
+        if degrade and not in_process:
+            in_process = True
+            if metrics is not None:
+                metrics.count("parallel.degraded")
+        pending = retry_queue
+    ordered_failures = tuple(failures[i] for i in sorted(failures))
+    return results, ordered_failures
 
 
 def _merge_metrics(
@@ -218,6 +430,9 @@ def parallel_spatial_join(
     obs: Observability | None = None,
     workers: int = 1,
     shard_level: int | None = None,
+    shard_timeout_s: float | None = None,
+    shard_retries: int = 1,
+    partial_results: bool = False,
     **params: Any,
 ) -> JoinResult:
     """Run a spatial join sharded by Hilbert key range.
@@ -233,9 +448,21 @@ def parallel_spatial_join(
     per-shard paper default): a live :class:`StorageManager` cannot be
     shared across processes.  Passing the same object for both datasets
     runs a self join, exactly as in :func:`~repro.join.api.spatial_join`.
+
+    Fault tolerance: ``shard_timeout_s`` bounds each shard attempt's
+    wait (``None`` = no timeout); timeouts and worker crashes are
+    re-dispatched up to ``shard_retries`` extra attempts.  Shards that
+    stay dead raise :class:`~repro.faults.errors.ShardExecutionError`,
+    or — with ``partial_results=True`` — are reported on
+    :attr:`JoinResult.failures` while the completed shards' pairs are
+    returned as a declared-partial result.
     """
     if workers < 1:
         raise ValueError("workers must be positive")
+    if shard_retries < 0:
+        raise ValueError("shard_retries must be non-negative")
+    if shard_timeout_s is not None and shard_timeout_s <= 0:
+        raise ValueError("shard_timeout_s must be positive (or None)")
     if isinstance(storage, StorageManager):
         raise ValueError(
             "parallel_spatial_join needs a StorageConfig, not a live "
@@ -276,13 +503,18 @@ def parallel_spatial_join(
         tasks=len(plan.tasks),
         self_join=self_join,
     ) as root:
-        if workers == 1 or len(payloads) <= 1:
-            shard_results = [_run_shard(p) for p in payloads]
-        else:
-            pool_size = min(workers, len(payloads))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                # map() preserves submission order = plan order.
-                shard_results = list(pool.map(_run_shard, payloads))
+        ordered_results, failures = _execute_tasks(
+            payloads,
+            list(plan.tasks),
+            workers,
+            shard_timeout_s,
+            1 + shard_retries,
+            obs,
+        )
+        if failures and not partial_results:
+            raise ShardExecutionError(failures)
+        # Plan order, completed shards only (all of them when fault-free).
+        shard_results = [r for r in ordered_results if r is not None]
 
         raw_pairs: set[tuple[int, int]] = set()
         for result in shard_results:
@@ -298,9 +530,20 @@ def parallel_spatial_join(
 
         metrics = _merge_metrics(shard_results, algorithm, plan, storage)
         metrics.details["shard_level"] = shard_level
+        if failures:
+            # Only on declared-partial results, so fault-free reports
+            # stay byte-identical to the pre-fault-subsystem ones.
+            metrics.details["shard_failures"] = [f.to_dict() for f in failures]
+            root.set(shard_failures=len(failures))
 
         if obs is not None and obs.enabled:
             _graft_observability(obs, root, shard_results)
         root.set(candidate_pairs=len(pairs))
 
-    return JoinResult(pairs=pairs, metrics=metrics, self_join=self_join, refined=refined)
+    return JoinResult(
+        pairs=pairs,
+        metrics=metrics,
+        self_join=self_join,
+        refined=refined,
+        failures=failures,
+    )

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
@@ -14,6 +15,12 @@ from repro.storage.pagedfile import PagedFile
 from repro.storage.records import RecordCodec
 
 SortKey = Callable[[Record], Any]
+
+_SORTER_IDS = itertools.count()
+"""Process-wide sorter numbering for temp run-file names.  Monotonic —
+unlike ``id(self)``, which the allocator can reuse across sorters, so
+two sorters on one storage manager could collide on run names and leak
+per-file sequential-run bookkeeping from one file into another."""
 
 
 @dataclass(frozen=True)
@@ -55,7 +62,11 @@ class ExternalSorter:
         if self.memory_pages < 2:
             raise ValueError("external sort needs at least two memory pages")
         self.bulk_pages = bulk_pages
+        self._uid = next(_SORTER_IDS)
         self._seq = 0
+        # Temp run files created by the in-flight sort; emptied on
+        # success, dropped best-effort if a pass raises mid-sort.
+        self._live_runs: set[str] = set()
 
     @property
     def fan_in(self) -> int:
@@ -79,26 +90,32 @@ class ExternalSorter:
     ) -> SortResult:
         """Sort ``source`` into a new file named ``output_name``."""
         obs = self.storage.obs
-        with obs.tracer.span(f"sort:{output_name}", kind="sort") as span:
-            codec = source.codec
-            run_names = self._form_runs(source, key, codec, unique)
-            initial_runs = len(run_names)
-            merge_passes = 0
-            while len(run_names) > 1:
-                run_names = self._merge_pass(run_names, key, codec, unique)
-                merge_passes += 1
-            if run_names:
-                final_name = run_names[0]
-            else:  # empty input: produce an empty output file
-                final_name = self._new_run_name()
-                self.storage.create_file(final_name, codec)
-            output = self._rename(final_name, output_name)
-            span.set(
-                input_pages=source.num_pages,
-                initial_runs=initial_runs,
-                merge_passes=merge_passes,
-                fan_in=self.fan_in,
-            )
+        try:
+            with obs.tracer.span(f"sort:{output_name}", kind="sort") as span:
+                codec = source.codec
+                run_names = self._form_runs(source, key, codec, unique)
+                initial_runs = len(run_names)
+                merge_passes = 0
+                while len(run_names) > 1:
+                    run_names = self._merge_pass(run_names, key, codec, unique)
+                    merge_passes += 1
+                if run_names:
+                    final_name = run_names[0]
+                else:  # empty input: produce an empty output file
+                    final_name = self._new_run_name()
+                    self._create_run(final_name, codec)
+                output = self._rename(final_name, output_name)
+                span.set(
+                    input_pages=source.num_pages,
+                    initial_runs=initial_runs,
+                    merge_passes=merge_passes,
+                    fan_in=self.fan_in,
+                )
+        except BaseException:
+            # A pass raised mid-sort (I/O fault, bad key, ...): drop the
+            # temp runs so a failed sort does not leak storage files.
+            self._discard_live_runs()
+            raise
         metrics = obs.active_metrics
         if metrics is not None:
             metrics.count("sort.sorts")
@@ -112,7 +129,28 @@ class ExternalSorter:
 
     def _new_run_name(self) -> str:
         self._seq += 1
-        return f"__sort-run-{id(self)}-{self._seq}"
+        return f"__sort-run-{self._uid}-{self._seq}"
+
+    def _create_run(self, name: str, codec: RecordCodec) -> PagedFile:
+        handle = self.storage.create_file(name, codec)
+        self._live_runs.add(name)
+        return handle
+
+    def _drop_run(self, name: str) -> None:
+        self.storage.drop_file(name)
+        self._live_runs.discard(name)
+
+    def _discard_live_runs(self) -> None:
+        """Best-effort drop of every temp run the failed sort left
+        behind.  Dropping discards buffered pages without flushing, so
+        this issues no page I/O; a backend so broken that even
+        ``delete_file`` raises still must not mask the original error."""
+        for name in sorted(self._live_runs):
+            try:
+                self.storage.drop_file(name)
+            except Exception:
+                pass
+        self._live_runs.clear()
 
     def _form_runs(
         self, source: PagedFile, key: SortKey, codec: RecordCodec, unique: bool
@@ -131,7 +169,7 @@ class ExternalSorter:
                 "compare", sort_comparison_count(len(batch))
             )
             name = self._new_run_name()
-            run = self.storage.create_file(name, codec)
+            run = self._create_run(name, codec)
             run.append_many(_drop_adjacent_duplicates(iter(batch)) if unique else batch)
             self.storage.pool.invalidate(name)  # spill the run to disk
             run_names.append(name)
@@ -157,7 +195,7 @@ class ExternalSorter:
                 merged_names.append(group[0])
                 continue
             name = self._new_run_name()
-            out = self.storage.create_file(name, codec)
+            out = self._create_run(name, codec)
             streams = [self.storage.open_file(run).scan() for run in group]
             merged = self._merge_streams(streams, key)
             if unique:
@@ -165,7 +203,7 @@ class ExternalSorter:
             out.append_many(merged)
             self.storage.pool.invalidate(name)
             for run in group:
-                self.storage.drop_file(run)
+                self._drop_run(run)
             merged_names.append(name)
         return merged_names
 
@@ -194,7 +232,9 @@ class ExternalSorter:
         and no I/O is charged.  Sorting into an existing output name
         deterministically replaces it, so re-sorting into the same name
         is well-defined (the prior output's handle goes stale)."""
-        return self.storage.rename_file(current, target, replace=True)
+        handle = self.storage.rename_file(current, target, replace=True)
+        self._live_runs.discard(current)
+        return handle
 
 
 def _drop_adjacent_duplicates(records: Iterator[Record]) -> Iterator[Record]:

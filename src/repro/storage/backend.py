@@ -25,8 +25,22 @@ from repro.storage.records import RecordCodec
 Record = tuple[Any, ...]
 
 
+class BackendClosedError(RuntimeError):
+    """An operation was issued to a backend after ``close()``.
+
+    ``close()`` itself is idempotent on every backend; any *other*
+    operation on a closed backend raises this instead of whatever
+    arbitrary failure the stale internal state would have produced.
+    """
+
+
 class StorageBackend(ABC):
-    """Physical page store keyed by (file name, page number)."""
+    """Physical page store keyed by (file name, page number).
+
+    Lifecycle contract: ``close()`` flushes/releases resources and may
+    be called any number of times; every other operation on a closed
+    backend raises :class:`BackendClosedError`.
+    """
 
     @abstractmethod
     def create_file(self, name: str, codec: RecordCodec, page_size: int) -> None:
@@ -51,7 +65,7 @@ class StorageBackend(ABC):
 
     @abstractmethod
     def close(self) -> None:
-        """Release any held resources."""
+        """Release any held resources (idempotent)."""
 
 
 class MemoryBackend(StorageBackend):
@@ -60,18 +74,26 @@ class MemoryBackend(StorageBackend):
     def __init__(self) -> None:
         self._pages: dict[tuple[str, int], list[Record]] = {}
         self._files: set[str] = set()
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendClosedError("operation on a closed MemoryBackend")
 
     def create_file(self, name: str, codec: RecordCodec, page_size: int) -> None:
+        self._check_open()
         if name in self._files:
             raise FileExistsError(f"storage file {name!r} already exists")
         self._files.add(name)
 
     def delete_file(self, name: str) -> None:
+        self._check_open()
         self._files.discard(name)
         for key in [k for k in self._pages if k[0] == name]:
             del self._pages[key]
 
     def rename_file(self, old: str, new: str) -> None:
+        self._check_open()
         if old not in self._files:
             raise FileNotFoundError(f"no storage file named {old!r}")
         if new in self._files:
@@ -82,15 +104,18 @@ class MemoryBackend(StorageBackend):
             self._pages[(new, key[1])] = self._pages.pop(key)
 
     def read_page(self, name: str, page_no: int) -> list[Record]:
+        self._check_open()
         try:
             return list(self._pages[(name, page_no)])
         except KeyError:
             raise ValueError(f"page {page_no} of {name!r} was never written") from None
 
     def write_page(self, name: str, page_no: int, records: list[Record]) -> None:
+        self._check_open()
         self._pages[(name, page_no)] = list(records)
 
     def close(self) -> None:
+        self._closed = True
         self._pages.clear()
         self._files.clear()
 
@@ -111,6 +136,11 @@ class FileBackend(StorageBackend):
         self._codecs: dict[str, RecordCodec] = {}
         self._page_sizes: dict[str, int] = {}
         self._handles: dict[str, Any] = {}
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BackendClosedError("operation on a closed FileBackend")
 
     def _path(self, name: str) -> Path:
         safe = name.replace(os.sep, "_").replace("/", "_")
@@ -127,6 +157,7 @@ class FileBackend(StorageBackend):
         return self._handles[name]
 
     def create_file(self, name: str, codec: RecordCodec, page_size: int) -> None:
+        self._check_open()
         if name in self._codecs:
             raise FileExistsError(f"storage file {name!r} already exists")
         self._codecs[name] = codec
@@ -134,6 +165,7 @@ class FileBackend(StorageBackend):
         self._path(name).write_bytes(b"")
 
     def delete_file(self, name: str) -> None:
+        self._check_open()
         handle = self._handles.pop(name, None)
         if handle is not None:
             handle.close()
@@ -144,6 +176,7 @@ class FileBackend(StorageBackend):
             path.unlink()
 
     def rename_file(self, old: str, new: str) -> None:
+        self._check_open()
         if old not in self._codecs:
             raise FileNotFoundError(f"no storage file named {old!r}")
         if new in self._codecs:
@@ -156,6 +189,7 @@ class FileBackend(StorageBackend):
         os.replace(self._path(old), self._path(new))
 
     def read_page(self, name: str, page_no: int) -> list[Record]:
+        self._check_open()
         codec = self._codecs[name]
         block_size = self._block_size(name)
         handle = self._handle(name)
@@ -172,6 +206,7 @@ class FileBackend(StorageBackend):
         return records
 
     def write_page(self, name: str, page_no: int, records: list[Record]) -> None:
+        self._check_open()
         codec = self._codecs[name]
         capacity = codec.records_per_page(self._page_sizes[name])
         if len(records) > capacity:
@@ -192,6 +227,8 @@ class FileBackend(StorageBackend):
         handle.write(block)
 
     def close(self) -> None:
+        self._closed = True
         for handle in self._handles.values():
+            handle.flush()
             handle.close()
         self._handles.clear()

@@ -4,9 +4,14 @@ from __future__ import annotations
 
 import tempfile
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.obs import NULL_OBS, Observability
 from repro.storage.backend import FileBackend, MemoryBackend, StorageBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.faults.retry import RetryPolicy
 from repro.storage.buffer import BufferPool
 from repro.storage.costs import CostModel
 from repro.storage.iostats import IOStats
@@ -24,6 +29,14 @@ class StorageConfig:
     ``buffer_pages`` is the paper's ``M``: the number of main-memory
     page frames available to an operator.  Experiments set it to 10% of
     the combined input size (section 5) unless stated otherwise.
+
+    ``fault_plan`` / ``retry`` opt into the fault subsystem (DESIGN.md
+    section 11): the physical backend is wrapped in a
+    :class:`~repro.faults.inject.FaultInjectingBackend` executing the
+    plan and/or a :class:`~repro.faults.retry.RetryingBackend` applying
+    the policy.  Both default to ``None`` (no wrapper at all), and a
+    retry layer over a fault-free run is a strict no-op — verified by
+    the parity tests.
     """
 
     page_size: int = DEFAULT_PAGE_SIZE
@@ -31,6 +44,8 @@ class StorageConfig:
     backend: str = "memory"
     directory: str | None = None
     cost_model: CostModel = field(default_factory=CostModel)
+    fault_plan: FaultPlan | None = None
+    retry: RetryPolicy | None = None
 
 
 class StorageManager:
@@ -67,16 +82,35 @@ class StorageManager:
 
     def _make_backend(self) -> StorageBackend:
         if self.config.backend == "memory":
-            return MemoryBackend()
-        if self.config.backend == "disk":
+            backend: StorageBackend = MemoryBackend()
+        elif self.config.backend == "disk":
             directory = self.config.directory
             if directory is None:
                 self._tempdir = tempfile.TemporaryDirectory(prefix="repro-storage-")
                 directory = self._tempdir.name
-            return FileBackend(directory)
-        raise ValueError(
-            f"unknown backend {self.config.backend!r}; choose 'memory' or 'disk'"
-        )
+            backend = FileBackend(directory)
+        else:
+            raise ValueError(
+                f"unknown backend {self.config.backend!r}; choose 'memory' or 'disk'"
+            )
+        # Fault subsystem wrappers (innermost injection, outermost
+        # retry, so retries see the injected faults): both are absent
+        # unless configured, and with zero faults the retry wrapper is
+        # a pure pass-through — the ledger and metrics are untouched.
+        if self.config.fault_plan is not None:
+            from repro.faults.inject import FaultInjectingBackend
+
+            backend = FaultInjectingBackend(
+                backend,
+                self.config.fault_plan,
+                stats=self.stats,
+                metrics=self.obs.active_metrics,
+            )
+        if self.config.retry is not None:
+            from repro.faults.retry import RetryingBackend
+
+            backend = RetryingBackend(backend, self.config.retry, obs=self.obs)
+        return backend
 
     # -- file lifecycle -------------------------------------------------
 

@@ -12,6 +12,11 @@ Three layers (see DESIGN.md section 10):
   totals, S3J's join phase reads each sorted page once, replication
   factors match the paper's claims, obs-on/off ledger parity).
 
+Plus **chaos** (:mod:`repro.verify.chaos`): the harness rerun under
+sampled fault plans, asserting every run ends as a correct result, a
+clean typed failure, or a declared partial result — never a silent
+wrong answer (DESIGN.md section 11).
+
 Typical use::
 
     from repro.verify import run_verify
@@ -21,6 +26,15 @@ Typical use::
 """
 
 from repro.verify.cases import VerifyCase
+from repro.verify.chaos import (
+    CHAOS_ALGORITHMS,
+    ChaosOutcome,
+    ChaosReport,
+    ChaosScenario,
+    run_chaos,
+    run_chaos_case,
+    sample_scenario,
+)
 from repro.verify.differential import (
     Counterexample,
     Divergence,
@@ -59,6 +73,10 @@ from repro.verify.oracle import descriptor_boxes, oracle_for_case, oracle_pairs
 from repro.verify.workloads import cases_by_name, default_cases
 
 __all__ = [
+    "CHAOS_ALGORITHMS",
+    "ChaosOutcome",
+    "ChaosReport",
+    "ChaosScenario",
     "Counterexample",
     "DEFAULT_INVARIANTS",
     "Divergence",
@@ -86,7 +104,10 @@ __all__ = [
     "minimize_counterexample",
     "oracle_for_case",
     "oracle_pairs",
+    "run_chaos",
+    "run_chaos_case",
     "run_executor",
     "run_verify",
+    "sample_scenario",
     "transforms_by_name",
 ]

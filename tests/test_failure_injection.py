@@ -1,8 +1,13 @@
 """Failure injection: the storage stack must fail loudly and stay
-consistent when the backend misbehaves or inputs are malformed."""
+consistent when the backend misbehaves or inputs are malformed.
+
+The flaky backend here is the shared :mod:`repro.faults` machinery
+(``FaultPlan.failing_writes`` is the promoted form of the ad-hoc
+``FlakyBackend`` this file used to define)."""
 
 import pytest
 
+from repro.faults import FaultInjectingBackend, FaultPlan
 from repro.storage.backend import MemoryBackend
 from repro.storage.buffer import BufferPool
 from repro.storage.iostats import IOStats
@@ -11,24 +16,11 @@ from repro.storage.pagedfile import PagedFile
 from repro.storage.records import EntityDescriptorCodec
 
 
-class FlakyBackend(MemoryBackend):
-    """Fails every write after the first ``fail_after`` of them."""
-
-    def __init__(self, fail_after: int) -> None:
-        super().__init__()
-        self.fail_after = fail_after
-        self.writes = 0
-
-    def write_page(self, name, page_no, records):
-        self.writes += 1
-        if self.writes > self.fail_after:
-            raise IOError(f"injected write failure at write #{self.writes}")
-        super().write_page(name, page_no, records)
-
-
 class TestBackendFailures:
     def make(self, fail_after):
-        backend = FlakyBackend(fail_after)
+        backend = FaultInjectingBackend(
+            MemoryBackend(), FaultPlan.failing_writes(fail_after)
+        )
         backend.create_file("f", EntityDescriptorCodec(), 4096)
         stats = IOStats()
         pool = BufferPool(backend, 2, stats)

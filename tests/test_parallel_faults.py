@@ -1,0 +1,216 @@
+"""The hardened parallel executor: crash recovery, timeouts, partial
+results, and the structured failure reports of DESIGN.md section 11."""
+
+import pickle
+
+import pytest
+
+from repro.faults import (
+    FaultError,
+    FaultPlan,
+    ShardExecutionError,
+    ShardFailure,
+)
+from repro.obs import Observability
+from repro.parallel.executor import parallel_spatial_join
+from repro.storage.manager import StorageConfig
+from tests.conftest import make_squares
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    a = make_squares(60, 0.04, seed=21, name="A")
+    b = make_squares(60, 0.05, seed=22, name="B")
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def baseline(datasets):
+    a, b = datasets
+    return parallel_spatial_join(a, b, workers=1, shard_level=1)
+
+
+def config_with(plan):
+    return StorageConfig(fault_plan=plan)
+
+
+class TestInProcessRecovery:
+    def test_single_crash_recovers(self, datasets, baseline):
+        a, b = datasets
+        obs = Observability()
+        result = parallel_spatial_join(
+            a,
+            b,
+            workers=1,
+            shard_level=1,
+            shard_retries=2,
+            storage=config_with(FaultPlan(crash_shards=("cell-0",))),
+            obs=obs,
+        )
+        assert result.pairs == baseline.pairs
+        assert result.complete
+        assert result.failures == ()
+        # The crash really happened and really was re-dispatched.
+        assert obs.metrics.counter_total("parallel.redispatches") == 1
+        assert obs.metrics.counter_total("parallel.shard_failures") == 0
+
+    def test_sticky_crash_raises_listing_only_the_crasher(self, datasets):
+        a, b = datasets
+        plan = FaultPlan(crash_shards=("cell-0",), crash_attempts=99)
+        with pytest.raises(ShardExecutionError) as info:
+            parallel_spatial_join(
+                a,
+                b,
+                workers=1,
+                shard_level=1,
+                shard_retries=1,
+                storage=config_with(plan),
+            )
+        failures = info.value.failures
+        assert [f.shard_id for f in failures] == ["cell-0"]
+        assert failures[0].error_type == "WorkerCrashError"
+        assert failures[0].attempts == 2
+        assert "cell-0" in str(info.value)
+
+    def test_partial_results_mode(self, datasets, baseline):
+        a, b = datasets
+        plan = FaultPlan(crash_shards=("cell-0",), crash_attempts=99)
+        obs = Observability()
+        result = parallel_spatial_join(
+            a,
+            b,
+            workers=1,
+            shard_level=1,
+            shard_retries=1,
+            partial_results=True,
+            storage=config_with(plan),
+            obs=obs,
+        )
+        assert not result.complete
+        assert [f.shard_id for f in result.failures] == ["cell-0"]
+        # Declared partial: what came back is a subset of the truth.
+        assert result.pairs < baseline.pairs
+        reported = result.metrics.details["shard_failures"]
+        assert reported == [f.to_dict() for f in result.failures]
+        assert obs.metrics.counter_total("parallel.shard_failures") == 1
+
+    def test_fault_free_run_has_no_failure_details(self, baseline):
+        assert baseline.complete
+        assert baseline.failures == ()
+        assert "shard_failures" not in baseline.metrics.details
+
+
+class TestSubprocessRecovery:
+    def test_crashed_worker_is_redispatched(self, datasets, baseline):
+        a, b = datasets
+        obs = Observability()
+        result = parallel_spatial_join(
+            a,
+            b,
+            workers=2,
+            shard_level=1,
+            shard_retries=2,
+            storage=config_with(FaultPlan(crash_shards=("cell-0",))),
+            obs=obs,
+        )
+        assert result.pairs == baseline.pairs
+        assert result.complete
+        assert obs.metrics.counter_total("parallel.pool_breaks") >= 1
+        assert obs.metrics.counter_total("parallel.redispatches") >= 1
+
+    def test_sticky_crash_fails_only_the_crasher(self, datasets, baseline):
+        """A crasher breaks the whole pool; the grace round must keep
+        the innocent shards out of the failure report."""
+        a, b = datasets
+        plan = FaultPlan(crash_shards=("cell-1",), crash_attempts=99)
+        result = parallel_spatial_join(
+            a,
+            b,
+            workers=2,
+            shard_level=1,
+            shard_retries=1,
+            partial_results=True,
+            storage=config_with(plan),
+        )
+        assert [f.shard_id for f in result.failures] == ["cell-1"]
+        assert result.pairs < baseline.pairs
+
+    def test_timeout_is_retried(self, datasets, baseline):
+        """Attempt 1 of the delayed shard exceeds the timeout; attempt 2
+        is undelayed and completes."""
+        a, b = datasets
+        plan = FaultPlan(
+            delay_shards=("cell-2",), delay_attempts=1, delay_s=1.5
+        )
+        obs = Observability()
+        result = parallel_spatial_join(
+            a,
+            b,
+            workers=2,
+            shard_level=1,
+            shard_timeout_s=0.3,
+            shard_retries=2,
+            storage=config_with(plan),
+            obs=obs,
+        )
+        assert result.pairs == baseline.pairs
+        assert result.complete
+        assert obs.metrics.counter_total("parallel.shard_timeouts") >= 1
+        assert obs.metrics.counter_total("parallel.redispatches") >= 1
+
+
+class TestValidation:
+    def test_negative_shard_retries_rejected(self, datasets):
+        a, b = datasets
+        with pytest.raises(ValueError, match="shard_retries"):
+            parallel_spatial_join(a, b, shard_level=1, shard_retries=-1)
+
+    def test_non_positive_timeout_rejected(self, datasets):
+        a, b = datasets
+        with pytest.raises(ValueError, match="shard_timeout_s"):
+            parallel_spatial_join(a, b, shard_level=1, shard_timeout_s=0.0)
+
+    def test_kwargs_flow_through_spatial_join(self, datasets):
+        from repro.join.api import spatial_join
+
+        a, b = datasets
+        plan = FaultPlan(crash_shards=("cell-0",), crash_attempts=99)
+        result = spatial_join(
+            a,
+            b,
+            workers=1,
+            shard_level=1,
+            shard_retries=0,
+            partial_results=True,
+            storage=config_with(plan),
+        )
+        assert not result.complete
+        assert result.failures[0].shard_id == "cell-0"
+        assert result.failures[0].attempts == 1
+
+
+class TestFailureReports:
+    def failure(self):
+        return ShardFailure(
+            shard_id="cell-3",
+            kind="cell",
+            error_type="ShardTimeoutError",
+            message="shard cell-3 exceeded the per-shard timeout of 0.3s",
+            attempts=3,
+        )
+
+    def test_round_trip(self):
+        failure = self.failure()
+        assert ShardFailure.from_dict(failure.to_dict()) == failure
+
+    def test_describe_names_the_essentials(self):
+        text = self.failure().describe()
+        assert "cell-3" in text
+        assert "ShardTimeoutError" in text
+        assert "3" in text
+
+    def test_shard_execution_error_pickles(self):
+        error = ShardExecutionError((self.failure(),))
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.failures == error.failures
+        assert isinstance(clone, FaultError)
