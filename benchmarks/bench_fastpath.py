@@ -1,0 +1,128 @@
+"""E-FAST — wall-clock gate of the in-memory vectorized fast path.
+
+Runs S3J on uniform workloads (one non-self, one self join) in both
+execution modes and measures real host wall-clock:
+
+- **parity** — the memory-mode pair set must equal the ledger-mode
+  pair set on every workload (the same gate ``repro verify
+  --cross-mode`` applies, here on the benchmark sizes);
+- **speedup** — memory mode must be at least ``--min-speedup`` times
+  faster than ledger mode (default 5x); the simulated-storage model
+  pays a Python-level page scan per descriptor, the fast path a few
+  NumPy passes per cell group.
+
+Emits ``BENCH_fastpath.json`` with wall-clock, pairs/second, and the
+speedup per workload::
+
+    python -m benchmarks.bench_fastpath [--entities 20000] [--min-speedup 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.join.api import spatial_join
+
+from benchmarks.artifacts import write_bench_artifact
+from tests.conftest import make_squares
+
+NUM_ENTITIES = int(os.environ.get("REPRO_FASTPATH_N", "20000"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_FASTPATH_MIN_SPEEDUP", "5.0"))
+REPEATS = 2  # best-of-N: shields the gate from scheduler noise
+
+
+def _time_mode(dataset_a, dataset_b, mode: str) -> tuple[float, frozenset]:
+    """Best-of-``REPEATS`` wall-clock of one mode; returns (s, pairs)."""
+    best = float("inf")
+    pairs: frozenset = frozenset()
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = spatial_join(dataset_a, dataset_b, mode=mode)
+        best = min(best, time.perf_counter() - start)
+        pairs = result.pairs
+    return best, pairs
+
+
+def bench_workload(
+    name: str, dataset_a, dataset_b, min_speedup: float
+) -> tuple[dict, list[str]]:
+    """Time both modes on one workload; return (row, failures)."""
+    failures: list[str] = []
+    ledger_s, ledger_pairs = _time_mode(dataset_a, dataset_b, "ledger")
+    memory_s, memory_pairs = _time_mode(dataset_a, dataset_b, "memory")
+    if memory_pairs != ledger_pairs:
+        failures.append(
+            f"{name}: memory mode found {len(memory_pairs)} pairs, "
+            f"ledger mode {len(ledger_pairs)} — modes diverge"
+        )
+    speedup = ledger_s / memory_s if memory_s > 0 else float("inf")
+    if speedup < min_speedup:
+        failures.append(
+            f"{name}: memory mode only {speedup:.1f}x faster than ledger "
+            f"({memory_s:.3f}s vs {ledger_s:.3f}s); gate is {min_speedup}x"
+        )
+    row = {
+        "workload": name,
+        "entities": len(dataset_a)
+        + (0 if dataset_b is dataset_a else len(dataset_b)),
+        "pairs": len(ledger_pairs),
+        "ledger_wall_s": ledger_s,
+        "memory_wall_s": memory_s,
+        "ledger_pairs_per_s": len(ledger_pairs) / ledger_s,
+        "memory_pairs_per_s": len(memory_pairs) / memory_s,
+        "speedup": speedup,
+    }
+    return row, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--entities", type=int, default=NUM_ENTITIES)
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP)
+    args = parser.parse_args(argv)
+
+    half = args.entities // 2
+    uniform_a = make_squares(half, 0.002, seed=20260806, name="fast-A")
+    uniform_b = make_squares(half, 0.003, seed=20260807, name="fast-B")
+    selfjoin = make_squares(args.entities, 0.002, seed=20260808, name="fast-S")
+
+    rows = []
+    failures: list[str] = []
+    for name, a, b in [
+        ("uniform", uniform_a, uniform_b),
+        ("self-join", selfjoin, selfjoin),
+    ]:
+        row, workload_failures = bench_workload(name, a, b, args.min_speedup)
+        rows.append(row)
+        failures.extend(workload_failures)
+        print(
+            f"{name:<10} pairs={row['pairs']:<8} "
+            f"ledger={row['ledger_wall_s']:.3f}s "
+            f"({row['ledger_pairs_per_s']:,.0f} pairs/s)  "
+            f"memory={row['memory_wall_s']:.3f}s "
+            f"({row['memory_pairs_per_s']:,.0f} pairs/s)  "
+            f"speedup={row['speedup']:.1f}x"
+        )
+
+    path = write_bench_artifact(
+        "fastpath",
+        {
+            "entities": args.entities,
+            "min_speedup": args.min_speedup,
+            "repeats": REPEATS,
+            "rows": rows,
+        },
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"fastpath OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ def bench_algorithm(algorithm: str, entities: int) -> tuple[dict, list[str]]:
         "algorithm": algorithm,
         "entities": 2 * entities,
         "serial_wall_s": serial_s,
+        "serial_pairs_per_s": len(serial.pairs) / serial_s,
         "pairs": len(serial.pairs),
         "workers": {},
     }
@@ -85,6 +86,7 @@ def bench_algorithm(algorithm: str, entities: int) -> tuple[dict, list[str]]:
             )
         row["workers"][str(workers)] = {
             "wall_s": elapsed,
+            "pairs_per_s": len(sharded.pairs) / elapsed,
             "speedup_vs_1worker": None,  # filled below
             "total_ios": sharded.metrics.total_ios,
             "sub_joins": sharded.metrics.details["plan"]["tasks"],
@@ -108,11 +110,13 @@ def main(argv: list[str] | None = None) -> int:
         failures.extend(algo_failures)
         timings = "  ".join(
             f"{workers}w={entry['wall_s']:.2f}s"
+            f"({entry['pairs_per_s']:,.0f}p/s)"
             for workers, entry in row["workers"].items()
         )
         print(
             f"{algorithm:<5} pairs={row['pairs']:<8} "
-            f"serial={row['serial_wall_s']:.2f}s  {timings}"
+            f"serial={row['serial_wall_s']:.2f}s"
+            f"({row['serial_pairs_per_s']:,.0f}p/s)  {timings}"
         )
 
     path = write_bench_artifact(

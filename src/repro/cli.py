@@ -101,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--tiles", type=int, default=None, help="PBSM tiles per dimension"
     )
     join.add_argument(
+        "--mode",
+        choices=("ledger", "memory"),
+        default="ledger",
+        help="execution engine: the simulated-I/O ledger model (default) "
+        "or the vectorized in-memory fast path (s3j only)",
+    )
+    join.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
@@ -134,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(e.g. cell-0); needs --workers > 1 or --shard-level",
     )
     join.add_argument(
+        "--crash-attempts",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="with --inject-crash: kill the first N attempts of each "
+        "listed shard (N > retry budget leaves the shard dead)",
+    )
+    join.add_argument(
+        "--partial-results",
+        action="store_true",
+        help="on a sharded run, return the completed shards' pairs when "
+        "some shards stay dead (declared partial; exits non-zero)",
+    )
+    join.add_argument(
         "--report",
         default=None,
         metavar="PATH",
@@ -163,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="chaos mode: rerun the harness under sampled fault plans "
         "and assert the correct/typed-failure/partial trichotomy",
+    )
+    verify.add_argument(
+        "--cross-mode",
+        action="store_true",
+        help="cross-mode parity: run every workload through ledger mode "
+        "and memory mode (serial and sharded) and require identical "
+        "pair sets, all equal to the brute-force oracle",
     )
     verify.add_argument(
         "--cases",
@@ -233,6 +261,30 @@ def cmd_join(args: argparse.Namespace) -> int:
             print("--tiles only applies to pbsm", file=sys.stderr)
             return 2
         params["tiles_per_dim"] = args.tiles
+    if args.mode == "memory":
+        if args.algorithm != "s3j":
+            print("--mode memory implements s3j only", file=sys.stderr)
+            return 2
+        if (
+            args.retry_attempts is not None
+            or args.retry_backoff is not None
+            or args.inject_crash
+        ):
+            print(
+                "--retry-*/--inject-crash are storage-layer knobs; "
+                "--mode memory has no storage to wrap",
+                file=sys.stderr,
+            )
+            return 2
+    if args.partial_results:
+        if args.workers == 1 and args.shard_level is None:
+            print(
+                "--partial-results needs a sharded run "
+                "(--workers > 1 or --shard-level)",
+                file=sys.stderr,
+            )
+            return 2
+        params["partial_results"] = True
     retry = None
     if args.retry_attempts is not None or args.retry_backoff is not None:
         from repro.faults import RetryPolicy
@@ -255,22 +307,35 @@ def cmd_join(args: argparse.Namespace) -> int:
         from repro.faults import FaultPlan
 
         fault_plan = FaultPlan(
-            crash_shards=tuple(args.inject_crash.split(","))
+            crash_shards=tuple(args.inject_crash.split(",")),
+            crash_attempts=args.crash_attempts,
         )
     obs = Observability() if (args.report or args.trace) else None
-    run = run_algorithm(
-        dataset_a,
-        dataset_b,
-        args.algorithm,
-        predicate=workload.predicate(),
-        scale=scale,
-        obs=obs,
-        workers=args.workers,
-        shard_level=args.shard_level,
-        retry=retry,
-        fault_plan=fault_plan,
-        **params,
-    )
+    from repro.faults.errors import ShardExecutionError
+
+    try:
+        run = run_algorithm(
+            dataset_a,
+            dataset_b,
+            args.algorithm,
+            predicate=workload.predicate(),
+            scale=scale,
+            obs=obs,
+            workers=args.workers,
+            shard_level=args.shard_level,
+            mode=args.mode,
+            retry=retry,
+            fault_plan=fault_plan,
+            **params,
+        )
+    except ShardExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(
+            "hint: --partial-results returns the completed shards' pairs "
+            "as a declared-partial result",
+            file=sys.stderr,
+        )
+        return 1
     metrics = run.result.metrics
     if args.report == "-":
         # Pure JSON on stdout: no human-readable summary mixed in.
@@ -278,6 +343,8 @@ def cmd_join(args: argparse.Namespace) -> int:
     else:
         print(f"workload  : {workload.name} (figure {workload.figure}, scale {scale})")
         print(f"algorithm : {args.algorithm}")
+        if args.mode != "ledger":
+            print(f"mode      : {args.mode}")
         if metrics.details.get("parallel"):
             plan = metrics.details["plan"]
             print(
@@ -291,6 +358,17 @@ def cmd_join(args: argparse.Namespace) -> int:
         for phase, seconds in metrics.breakdown().items():
             print(f"  {phase:<10} {seconds:8.2f} s")
         print(f"total     : {metrics.response_time:8.2f} s (simulated)")
+        if not run.result.complete:
+            # A declared-partial result is loud in the human output too,
+            # not only in the report JSON.
+            failures = run.result.failures
+            print(f"FAILURES  : {len(failures)} shard(s) incomplete — "
+                  "pairs above cover completed shards only")
+            for failure in failures:
+                print(
+                    f"  {failure.shard_id:<12} {failure.error_type} "
+                    f"after {failure.attempts} attempt(s): {failure.message}"
+                )
         if args.report:
             run.report.save(args.report)
             print(f"report    : {args.report}", file=sys.stderr)
@@ -299,6 +377,13 @@ def cmd_join(args: argparse.Namespace) -> int:
             json.dump(obs.tracer.to_chrome_trace(), handle)
             handle.write("\n")
         print(f"trace     : {args.trace}", file=sys.stderr)
+    if not run.result.complete:
+        print(
+            f"error: {len(run.result.failures)} shard(s) failed; "
+            "result is partial",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -308,9 +393,32 @@ def cmd_verify(args: argparse.Namespace) -> int:
         cases_by_name,
         default_executors,
         run_chaos,
+        run_cross_mode,
         run_verify,
         transforms_by_name,
     )
+
+    if args.cross_mode:
+        try:
+            cases = (
+                cases_by_name(tuple(args.workloads.split(",")), seed=args.seed)
+                if args.workloads
+                else None
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        report = run_cross_mode(
+            cases=cases,
+            worker_counts=tuple(dict.fromkeys((1, args.workers))),
+            seed=args.seed,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
 
     if args.chaos:
         report = run_chaos(

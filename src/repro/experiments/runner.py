@@ -100,6 +100,7 @@ def run_algorithm(
     obs: Observability | None = None,
     workers: int = 1,
     shard_level: int | None = None,
+    mode: str = "ledger",
     retry: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     **params: Any,
@@ -112,13 +113,27 @@ def run_algorithm(
     (:mod:`repro.parallel`); the per-shard storage managers all use
     this experiment's paper-faithful configuration.
 
+    ``mode="memory"`` runs the in-memory fast path instead of the
+    simulated-storage model: no storage configuration exists there, so
+    ``retry``/``fault_plan`` (storage-level layers) are rejected.
+
     ``retry`` installs a retrying storage layer and ``fault_plan``
     a fault-injecting one (DESIGN.md section 11) — both ride inside the
     storage config, so sharded runs apply them in every worker too.
     """
-    config = make_storage_config(dataset_a, dataset_b, scale=scale)
-    if retry is not None or fault_plan is not None:
-        config = dataclasses.replace(config, retry=retry, fault_plan=fault_plan)
+    if mode == "memory":
+        if retry is not None or fault_plan is not None:
+            raise ValueError(
+                "retry/fault_plan are storage layers; mode='memory' has "
+                "no storage to wrap"
+            )
+        config = None
+    else:
+        config = make_storage_config(dataset_a, dataset_b, scale=scale)
+        if retry is not None or fault_plan is not None:
+            config = dataclasses.replace(
+                config, retry=retry, fault_plan=fault_plan
+            )
     result = spatial_join(
         dataset_a,
         dataset_b,
@@ -128,6 +143,7 @@ def run_algorithm(
         obs=obs,
         workers=workers,
         shard_level=shard_level,
+        mode=mode,
         **params,
     )
     report = None

@@ -1,0 +1,99 @@
+"""The vectorized forward-sweep interval join kernel.
+
+This is the memory-mode replacement for the ledger path's synchronized
+page scan: given two sets of rectangles, report every pair whose MBRs
+intersect (closed intervals — boundary contact counts, matching
+``Rect.intersects``).
+
+The kernel follows the *forward sweep* of Tsitsigkos & Mamoulis
+(PAPERS.md, 1908.11740): with both inputs sorted by ``xlo``, every
+x-overlapping pair ``(a, b)`` falls in exactly one of two disjoint
+classes,
+
+1. ``b.xlo ∈ [a.xlo, a.xhi]`` — *b starts inside a*, and
+2. ``a.xlo ∈ (b.xlo, b.xhi]`` — *a starts strictly inside b*,
+
+and each class is a single contiguous range of the other input's sorted
+``xlo`` array, found with two ``np.searchsorted`` calls per side.  The
+ranges are expanded to explicit index pairs with ``repeat``/``cumsum``
+arithmetic and filtered by a vectorized closed-interval y-overlap mask
+— no Python-level loop over candidates anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _expand_ranges(
+    starts: np.ndarray, stops: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-row half-open index ranges ``[starts[i], stops[i])``
+    into explicit ``(row, index)`` pairs.
+
+    Returns ``(rows, indices)`` where ``rows`` repeats each row id once
+    per element of its range and ``indices`` enumerates the ranges.
+    """
+    counts = stops - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    rows = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    # Offset of each output slot within its row's range: a global
+    # arange minus the (repeated) cumulative start of the row's block.
+    block_starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(block_starts, counts)
+    return rows, np.repeat(starts, counts) + offsets
+
+
+def forward_sweep_pairs(
+    axlo: np.ndarray,
+    axhi: np.ndarray,
+    bxlo: np.ndarray,
+    bxhi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(i, j)`` with closed-interval x-overlap:
+    ``axlo[i] <= bxhi[j] and bxlo[j] <= axhi[i]``.
+
+    Both ``axlo`` and ``bxlo`` must be sorted ascending (``axhi`` /
+    ``bxhi`` ride along unsorted).  Each qualifying pair is produced
+    exactly once, by the two-class decomposition above.
+    """
+    # Class 1: b starts inside a — bxlo[j] in [axlo[i], axhi[i]].
+    lo1 = np.searchsorted(bxlo, axlo, side="left")
+    hi1 = np.searchsorted(bxlo, axhi, side="right")
+    ia1, ib1 = _expand_ranges(lo1, np.maximum(lo1, hi1))
+    # Class 2: a starts strictly inside b — axlo[i] in (bxlo[j], bxhi[j]].
+    lo2 = np.searchsorted(axlo, bxlo, side="right")
+    hi2 = np.searchsorted(axlo, bxhi, side="right")
+    ib2, ia2 = _expand_ranges(lo2, np.maximum(lo2, hi2))
+    return np.concatenate([ia1, ia2]), np.concatenate([ib1, ib2])
+
+
+def sweep_intersecting_pairs(
+    axlo: np.ndarray,
+    aylo: np.ndarray,
+    axhi: np.ndarray,
+    ayhi: np.ndarray,
+    bxlo: np.ndarray,
+    bylo: np.ndarray,
+    bxhi: np.ndarray,
+    byhi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """All index pairs of intersecting rectangles between two inputs.
+
+    Inputs need not be pre-sorted; indices in the returned ``(ia, ib)``
+    arrays refer to the caller's original order.  The third element is
+    the number of x-overlapping candidate pairs the y-mask tested —
+    memory mode's analogue of the ledger's ``mbr_test`` count.
+    """
+    order_a = np.argsort(axlo, kind="stable")
+    order_b = np.argsort(bxlo, kind="stable")
+    ia, ib = forward_sweep_pairs(
+        axlo[order_a], axhi[order_a], bxlo[order_b], bxhi[order_b]
+    )
+    ia = order_a[ia]
+    ib = order_b[ib]
+    keep = (aylo[ia] <= byhi[ib]) & (bylo[ib] <= ayhi[ia])
+    return ia[keep], ib[keep], len(keep)

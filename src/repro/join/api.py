@@ -43,6 +43,12 @@ DEFAULT_MEMORY_FRACTION = 0.10
 """Buffer pool sized at 10% of the combined input size, the paper's
 default experimental setting (section 5)."""
 
+EXECUTION_MODES = ("ledger", "memory")
+"""``ledger`` runs the paper-faithful simulated-I/O model; ``memory``
+runs the vectorized in-memory fast path (:mod:`repro.fastpath`)."""
+
+_MEMORY_MODE_PARAMS = frozenset({"curve", "max_level", "cell_level"})
+
 
 def available_algorithms() -> tuple[str, ...]:
     """Names accepted by :func:`spatial_join` and :func:`make_algorithm`."""
@@ -96,6 +102,7 @@ def spatial_join(
     obs: Observability | None = None,
     workers: int = 1,
     shard_level: int | None = None,
+    mode: str = "ledger",
     **params: Any,
 ) -> JoinResult:
     """Join two spatial data sets and return candidate (and optionally
@@ -104,6 +111,13 @@ def spatial_join(
     Passing the *same object* for both data sets runs a self join: the
     data set is joined against an identical copy of itself and mirrored
     pairs are canonicalized (section 5.2.1).
+
+    ``mode`` selects the execution engine: ``"ledger"`` (default) runs
+    the paper-faithful simulated-storage model; ``"memory"`` runs the
+    vectorized in-memory fast path (:mod:`repro.fastpath`) — S3J only,
+    no ``storage`` (there is nothing to simulate), same candidate pair
+    set.  Memory mode accepts only the ``curve``, ``max_level``, and
+    ``cell_level`` parameters.
 
     ``workers > 1`` (or an explicit ``shard_level``) runs the join
     sharded by Hilbert key range on that many worker processes (see
@@ -121,7 +135,34 @@ def spatial_join(
     ``tiles_per_dim=40`` for PBSM, ``dsb_level=8`` for S3J with
     filtering).
     """
-    if workers != 1 or shard_level is not None:
+    mode = (mode or "ledger").lower()
+    if mode not in EXECUTION_MODES:
+        raise ValueError(
+            f"unknown mode {mode!r}; choose from {EXECUTION_MODES}"
+        )
+    sharded = workers != 1 or shard_level is not None
+    if mode == "memory":
+        if algorithm.lower() != "s3j":
+            raise ValueError(
+                "mode='memory' implements s3j only; "
+                f"got algorithm {algorithm!r}"
+            )
+        if storage is not None:
+            raise ValueError(
+                "mode='memory' runs without storage simulation; "
+                "storage must be None"
+            )
+        allowed = set(_MEMORY_MODE_PARAMS)
+        if sharded:  # executor knobs consumed by parallel_spatial_join
+            allowed |= {"partial_results", "shard_timeout_s", "shard_retries"}
+        unknown = set(params) - allowed
+        if unknown:
+            raise ValueError(
+                f"mode='memory' does not accept parameters {sorted(unknown)}; "
+                f"supported: {sorted(allowed)}"
+            )
+
+    if sharded:
         from repro.parallel.executor import parallel_spatial_join
 
         if isinstance(storage, StorageManager):
@@ -139,6 +180,19 @@ def spatial_join(
             obs=obs,
             workers=workers,
             shard_level=shard_level,
+            mode=mode,
+            **params,
+        )
+
+    if mode == "memory":
+        from repro.fastpath import memory_spatial_join
+
+        return memory_spatial_join(
+            dataset_a,
+            dataset_b,
+            predicate=predicate,
+            refine=refine,
+            obs=obs,
             **params,
         )
 

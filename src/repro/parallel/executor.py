@@ -49,12 +49,14 @@ or — with ``partial_results=True`` — come back as structured
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any
+from contextlib import contextmanager
+from typing import Any, Iterator
 
 from repro.faults.errors import (
     ShardExecutionError,
@@ -84,6 +86,7 @@ def _shard_payload(
     refine: bool,
     instrument: bool,
     params: dict[str, Any],
+    mode: str = "ledger",
 ) -> dict[str, Any]:
     """Everything one worker needs, as a picklable dict."""
     return {
@@ -98,7 +101,46 @@ def _shard_payload(
         "refine": refine,
         "instrument": instrument,
         "params": params,
+        "mode": mode,
     }
+
+
+@contextmanager
+def _fresh_name_counters() -> Iterator[None]:
+    """Give one shard's sub-join pristine file-label counters.
+
+    Internal file names embed process-global counters
+    (``join.api._input_counter``, ``join.base._run_counter``, the
+    external sorter's ids).  A reused pool process runs its second shard
+    with advanced counters, so metric labels like
+    ``records{file=s3j-1-A-L3}`` become scheduling-dependent and two
+    otherwise-identical runs can serialize differently.  Resetting the
+    counters around each shard makes every shard label its files as the
+    first join of a fresh process would — regardless of worker count or
+    which process the shard landed on.  The originals are restored so
+    the in-process (``workers=1``) path leaves the caller's interpreter
+    exactly as it found it.
+    """
+    import repro.join.api as join_api
+    import repro.join.base as join_base
+    import repro.sorting.external_sort as external_sort
+
+    saved = (
+        join_api._input_counter,
+        join_base._run_counter,
+        external_sort._SORTER_IDS,
+    )
+    join_api._input_counter = itertools.count()
+    join_base._run_counter = itertools.count()
+    external_sort._SORTER_IDS = itertools.count()
+    try:
+        yield
+    finally:
+        (
+            join_api._input_counter,
+            join_base._run_counter,
+            external_sort._SORTER_IDS,
+        ) = saved
 
 
 def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
@@ -136,16 +178,18 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
         config = dataclasses.replace(config, directory=None)
     obs = Observability() if payload["instrument"] else None
 
-    result = spatial_join(
-        dataset_a,
-        dataset_b,
-        algorithm=payload["algorithm"],
-        predicate=payload["predicate"],
-        storage=config,
-        refine=payload["refine"],
-        obs=obs,
-        **payload["params"],
-    )
+    with _fresh_name_counters():
+        result = spatial_join(
+            dataset_a,
+            dataset_b,
+            algorithm=payload["algorithm"],
+            predicate=payload["predicate"],
+            storage=config,
+            refine=payload["refine"],
+            obs=obs,
+            mode=payload.get("mode", "ledger"),
+            **payload["params"],
+        )
 
     out: dict[str, Any] = {
         "shard_id": payload["shard_id"],
@@ -337,6 +381,7 @@ def _merge_metrics(
     algorithm: str,
     plan: ShardPlan,
     config: StorageConfig | None,
+    mode: str = "ledger",
 ) -> JoinMetrics:
     """Fold per-shard :class:`JoinMetrics` dumps into one ledger."""
     shard_metrics = [JoinMetrics.from_dict(r["metrics"]) for r in shard_results]
@@ -374,6 +419,12 @@ def _merge_metrics(
     details: dict[str, Any] = {
         "parallel": True,
         "plan": plan.describe(),
+    }
+    if mode != "ledger":
+        # Only non-default modes are recorded, so ledger-mode reports
+        # stay byte-identical to the pre-fastpath ones.
+        details["mode"] = mode
+    details |= {
         "shards": [
             {
                 "shard_id": r["shard_id"],
@@ -430,6 +481,7 @@ def parallel_spatial_join(
     obs: Observability | None = None,
     workers: int = 1,
     shard_level: int | None = None,
+    mode: str = "ledger",
     shard_timeout_s: float | None = None,
     shard_retries: int = 1,
     partial_results: bool = False,
@@ -468,6 +520,11 @@ def parallel_spatial_join(
             "parallel_spatial_join needs a StorageConfig, not a live "
             "StorageManager: every shard builds its own storage"
         )
+    if mode == "memory" and storage is not None:
+        raise ValueError(
+            "mode='memory' runs without storage simulation; "
+            "storage must be None"
+        )
     from repro.join.api import available_algorithms
 
     if algorithm.lower() not in available_algorithms():
@@ -489,7 +546,8 @@ def parallel_spatial_join(
     instrument = obs is not None and obs.enabled
     payloads = [
         _shard_payload(
-            task, algorithm, predicate, storage, refine, instrument, params
+            task, algorithm, predicate, storage, refine, instrument, params,
+            mode=mode,
         )
         for task in plan.tasks
     ]
@@ -528,7 +586,7 @@ def parallel_spatial_join(
                 raw_refined.update(tuple(pair) for pair in result["refined"] or ())
             refined = canonical_pairs(raw_refined, self_join)
 
-        metrics = _merge_metrics(shard_results, algorithm, plan, storage)
+        metrics = _merge_metrics(shard_results, algorithm, plan, storage, mode)
         metrics.details["shard_level"] = shard_level
         if failures:
             # Only on declared-partial results, so fault-free reports

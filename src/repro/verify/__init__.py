@@ -35,6 +35,11 @@ from repro.verify.chaos import (
     run_chaos_case,
     sample_scenario,
 )
+from repro.verify.crossmode import (
+    CrossModeMismatch,
+    CrossModeReport,
+    run_cross_mode,
+)
 from repro.verify.differential import (
     Counterexample,
     Divergence,
@@ -78,6 +83,8 @@ __all__ = [
     "ChaosReport",
     "ChaosScenario",
     "Counterexample",
+    "CrossModeMismatch",
+    "CrossModeReport",
     "DEFAULT_INVARIANTS",
     "Divergence",
     "ExecutorSpec",
@@ -106,6 +113,7 @@ __all__ = [
     "oracle_pairs",
     "run_chaos",
     "run_chaos_case",
+    "run_cross_mode",
     "run_executor",
     "run_verify",
     "sample_scenario",

@@ -27,21 +27,31 @@ SORTED_FILE_SUFFIX = "-sorted"
 
 @dataclass(frozen=True)
 class ExecutorSpec:
-    """One algorithm configuration under test."""
+    """One algorithm configuration under test.
+
+    ``mode`` selects the execution engine (``"ledger"`` or
+    ``"memory"``, see :func:`~repro.join.api.spatial_join`); memory-
+    mode records carry no live ledger or level files, so the
+    storage-level invariants skip them by construction.
+    """
 
     algorithm: str
     workers: int = 1
     shard_level: int | None = None
     params: tuple[tuple[str, Any], ...] = ()
     label: str | None = None
+    mode: str = "ledger"
 
     @property
     def name(self) -> str:
         if self.label:
             return self.label
+        name = self.algorithm
+        if self.mode != "ledger":
+            name = f"{name}:{self.mode}"
         if self.workers != 1 or self.shard_level is not None:
-            return f"{self.algorithm}@{self.workers}w"
-        return self.algorithm
+            name = f"{name}@{self.workers}w"
+        return name
 
     @property
     def sharded(self) -> bool:
@@ -70,9 +80,12 @@ def default_executors(
     algorithms: tuple[str, ...] | None = None,
     worker_counts: tuple[int, ...] = (2,),
     sharded_algorithms: tuple[str, ...] = ("s3j",),
+    memory_mode: bool = True,
 ) -> list[ExecutorSpec]:
     """The default roster: every registered algorithm serially, plus
-    sharded runs of ``sharded_algorithms`` at each worker count."""
+    sharded runs of ``sharded_algorithms`` at each worker count, plus
+    (when ``memory_mode`` and s3j is in the roster) the in-memory fast
+    path serially and at each worker count."""
     names = algorithms or available_algorithms()
     unknown = set(names) - set(available_algorithms())
     if unknown:
@@ -88,6 +101,14 @@ def default_executors(
             if workers == 1:
                 continue
             specs.append(ExecutorSpec(algorithm=name, workers=workers))
+    if memory_mode and "s3j" in names:
+        specs.append(ExecutorSpec(algorithm="s3j", mode="memory"))
+        for workers in worker_counts:
+            if workers == 1:
+                continue
+            specs.append(
+                ExecutorSpec(algorithm="s3j", workers=workers, mode="memory")
+            )
     return specs
 
 
@@ -118,6 +139,30 @@ def run_executor(
             obs=obs,
             workers=spec.workers,
             shard_level=spec.shard_level,
+            mode=spec.mode,
+            **params,
+        )
+        return RunRecord(
+            spec=spec,
+            case=case,
+            transform_name="",
+            pairs=result.pairs,
+            metrics=result.metrics,
+            registry=obs.metrics if obs is not None else None,
+        )
+
+    if spec.mode == "memory":
+        # No storage exists in memory mode: there is no live ledger to
+        # snapshot and no level files to page-count, so the record
+        # carries pair set + metrics only (the storage invariants skip).
+        obs = Observability() if instrument else None
+        result = spatial_join(
+            case.dataset_a,
+            case.dataset_b,
+            algorithm=spec.algorithm,
+            predicate=case.predicate,
+            obs=obs,
+            mode=spec.mode,
             **params,
         )
         return RunRecord(

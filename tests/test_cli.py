@@ -200,3 +200,94 @@ class TestObservabilityFlags:
         assert row["workload"] == "UN1-UN2"
         assert {"s3j", "pbsm_small", "pbsm_large", "shj"} <= set(row)
         assert json.loads(json.dumps(rows)) == rows
+
+
+class TestExecutionModes:
+    """`repro join --mode memory` and the partial-result exit codes."""
+
+    def test_memory_mode_runs(self, capsys):
+        assert main(
+            ["join", "--mode", "memory", "--scale", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode      : memory" in out
+        assert "page I/Os : 0" in out
+
+    def test_memory_mode_sharded(self, capsys):
+        assert main(
+            ["join", "--mode", "memory", "--workers", "2", "--scale", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mode      : memory" in out and "sharding" in out
+
+    def test_memory_mode_rejects_non_s3j(self, capsys):
+        assert main(
+            ["join", "--mode", "memory", "--algorithm", "pbsm",
+             "--scale", "0.02"]
+        ) == 2
+        assert "s3j only" in capsys.readouterr().err
+
+    def test_memory_mode_rejects_retry_flags(self, capsys):
+        assert main(
+            ["join", "--mode", "memory", "--retry-attempts", "2",
+             "--scale", "0.02"]
+        ) == 2
+        assert "no storage" in capsys.readouterr().err
+
+    def test_partial_results_needs_sharding(self, capsys):
+        assert main(
+            ["join", "--partial-results", "--scale", "0.02"]
+        ) == 2
+        assert "sharded" in capsys.readouterr().err
+
+    def test_transient_crash_retries_to_success(self, capsys):
+        # Default shard retry budget survives a single crashed attempt.
+        assert main(
+            ["join", "--workers", "2", "--inject-crash", "cell-0",
+             "--scale", "0.02"]
+        ) == 0
+        assert "FAILURES" not in capsys.readouterr().out
+
+    def test_persistent_crash_without_partial_exits_1(self, capsys):
+        assert main(
+            ["join", "--workers", "2", "--inject-crash", "cell-0",
+             "--crash-attempts", "5", "--scale", "0.02"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "--partial-results" in err
+
+    def test_persistent_crash_partial_exits_3(self, capsys):
+        # A dead shard with --partial-results: pairs for the completed
+        # shards, a loud FAILURES block, and exit code 3.
+        assert main(
+            ["join", "--workers", "2", "--inject-crash", "cell-0",
+             "--crash-attempts", "5", "--partial-results",
+             "--scale", "0.02"]
+        ) == 3
+        captured = capsys.readouterr()
+        assert "FAILURES  : 1 shard(s) incomplete" in captured.out
+        assert "cell-0" in captured.out
+        assert "result is partial" in captured.err
+
+
+class TestCrossModeCommand:
+    def test_cross_mode_passes(self, capsys):
+        assert main(
+            ["verify", "--cross-mode", "--workloads", "uniform,mixed-self"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cross-mode" in out and "PASS" in out
+
+    def test_cross_mode_json(self, capsys):
+        assert main(
+            ["verify", "--cross-mode", "--workloads", "uniform", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["runs"] == 4  # 1 workload x workers {1,2} x 2 modes
+
+    def test_cross_mode_unknown_workload_exits_2(self, capsys):
+        assert main(
+            ["verify", "--cross-mode", "--workloads", "nope"]
+        ) == 2
+        assert "unknown" in capsys.readouterr().err

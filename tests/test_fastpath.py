@@ -1,0 +1,410 @@
+"""Tests for the in-memory vectorized fast path (``repro.fastpath``).
+
+Three layers of evidence:
+
+- **kernel vs oracle** — the forward-sweep interval kernel against a
+  brute-force all-pairs oracle, including a hypothesis suite biased
+  toward the hard inputs (duplicate coordinates, zero-area rectangles,
+  boundary-touching intervals);
+- **join vs oracle** — ``memory_spatial_join`` against the brute-force
+  MBR join on generated workloads, self and non-self, with and without
+  predicate margins;
+- **cross-mode parity** — ``spatial_join(mode="memory")`` against the
+  default ledger mode at worker counts 1 and 2: identical pair sets.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fastpath import (
+    ColumnarDataset,
+    default_cell_level,
+    forward_sweep_pairs,
+    memory_spatial_join,
+    sweep_intersecting_pairs,
+)
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.api import available_algorithms, spatial_join
+from repro.join.dataset import SpatialDataset
+from repro.join.predicates import WithinDistance
+
+from .conftest import brute_force_pairs, brute_force_self_pairs, make_squares
+
+# ---------------------------------------------------------------------------
+# Strategies: small discrete coordinate grids force duplicate coords and
+# boundary-touching rectangles far more often than uniform floats would.
+
+GRID = 8
+
+
+def _boxes(draw, max_count: int) -> tuple[np.ndarray, ...]:
+    count = draw(st.integers(min_value=0, max_value=max_count))
+    coord = st.integers(min_value=0, max_value=GRID)
+    xlo, ylo, xhi, yhi = [], [], [], []
+    for _ in range(count):
+        x1, x2 = sorted((draw(coord), draw(coord)))  # zero width allowed
+        y1, y2 = sorted((draw(coord), draw(coord)))
+        xlo.append(x1 / GRID)
+        ylo.append(y1 / GRID)
+        xhi.append(x2 / GRID)
+        yhi.append(y2 / GRID)
+    return tuple(np.asarray(arr, dtype=np.float64) for arr in (xlo, ylo, xhi, yhi))
+
+
+@st.composite
+def box_arrays(draw, max_count: int = 12):
+    return _boxes(draw, max_count)
+
+
+def _oracle_x_pairs(axlo, axhi, bxlo, bxhi) -> set[tuple[int, int]]:
+    return {
+        (i, j)
+        for i in range(len(axlo))
+        for j in range(len(bxlo))
+        if axlo[i] <= bxhi[j] and bxlo[j] <= axhi[i]
+    }
+
+
+def _oracle_box_pairs(a, b) -> set[tuple[int, int]]:
+    axlo, aylo, axhi, ayhi = a
+    bxlo, bylo, bxhi, byhi = b
+    return {
+        (i, j)
+        for i in range(len(axlo))
+        for j in range(len(bxlo))
+        if axlo[i] <= bxhi[j]
+        and bxlo[j] <= axhi[i]
+        and aylo[i] <= byhi[j]
+        and bylo[j] <= ayhi[i]
+    }
+
+
+class TestForwardSweepKernel:
+    @settings(max_examples=200, deadline=None)
+    @given(a=box_arrays(), b=box_arrays())
+    def test_x_candidates_match_oracle(self, a, b):
+        axlo, _, axhi, _ = a
+        bxlo, _, bxhi, _ = b
+        oa = np.argsort(axlo, kind="stable")
+        ob = np.argsort(bxlo, kind="stable")
+        ia, ib = forward_sweep_pairs(axlo[oa], axhi[oa], bxlo[ob], bxhi[ob])
+        got = set(zip(oa[ia].tolist(), ob[ib].tolist()))
+        assert len(ia) == len(got), "kernel produced a duplicate pair"
+        assert got == _oracle_x_pairs(axlo, axhi, bxlo, bxhi)
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=box_arrays(), b=box_arrays())
+    def test_intersecting_pairs_match_oracle(self, a, b):
+        ia, ib, candidates = sweep_intersecting_pairs(*a, *b)
+        got = set(zip(ia.tolist(), ib.tolist()))
+        assert len(ia) == len(got), "kernel produced a duplicate pair"
+        assert got == _oracle_box_pairs(a, b)
+        assert candidates >= len(got)
+
+    def test_boundary_touching_counts(self):
+        # a.xhi == b.xlo and a.yhi == b.ylo: closed intervals intersect.
+        a = tuple(np.array([v]) for v in (0.0, 0.0, 0.25, 0.25))
+        b = tuple(np.array([v]) for v in (0.25, 0.25, 0.5, 0.5))
+        ia, ib, _ = sweep_intersecting_pairs(*a, *b)
+        assert set(zip(ia.tolist(), ib.tolist())) == {(0, 0)}
+
+    def test_duplicate_identical_boxes(self):
+        coords = (
+            np.array([0.1, 0.1, 0.1]),
+            np.array([0.2, 0.2, 0.2]),
+            np.array([0.3, 0.3, 0.3]),
+            np.array([0.4, 0.4, 0.4]),
+        )
+        ia, ib, _ = sweep_intersecting_pairs(*coords, *coords)
+        assert len(ia) == 9  # full 3x3 cross product, each pair once
+
+    def test_zero_area_point_on_edge(self):
+        point = tuple(np.array([v]) for v in (0.5, 0.5, 0.5, 0.5))
+        box = tuple(np.array([v]) for v in (0.25, 0.25, 0.5, 0.5))
+        ia, ib, _ = sweep_intersecting_pairs(*point, *box)
+        assert len(ia) == 1
+
+    def test_empty_inputs(self):
+        empty = tuple(np.empty(0) for _ in range(4))
+        box = tuple(np.array([v]) for v in (0.0, 0.0, 1.0, 1.0))
+        for a, b in [(empty, box), (box, empty), (empty, empty)]:
+            ia, ib, candidates = sweep_intersecting_pairs(*a, *b)
+            assert len(ia) == len(ib) == candidates == 0
+
+
+class TestColumnarDataset:
+    def test_margin_matches_entity_expansion(self):
+        dataset = make_squares(40, 0.02, seed=7)
+        margin = 0.015625  # 2**-6, exactly representable
+        col = ColumnarDataset.from_dataset(dataset, margin=margin)
+        for idx, entity in enumerate(dataset):
+            box = entity.mbr.expanded(margin).clamped()
+            assert col.xlo[idx] == box.xlo and col.xhi[idx] == box.xhi
+            assert col.ylo[idx] == box.ylo and col.yhi[idx] == box.yhi
+
+    def test_empty_dataset(self):
+        col = ColumnarDataset.from_dataset(SpatialDataset("empty", []))
+        assert len(col) == 0
+        assert col.level.dtype == np.int64 and col.key.dtype == np.int64
+
+    def test_default_cell_level_bounds(self):
+        assert default_cell_level(0, max_level=8) == 0
+        assert default_cell_level(100, max_level=8) == 0
+        assert default_cell_level(128 * 4**3, max_level=8) == 3
+        assert default_cell_level(10**9, max_level=8) == 8
+
+
+class TestMemoryJoinOracle:
+    @pytest.mark.parametrize("count", [0, 1, 2, 50, 300])
+    def test_self_join_matches_brute_force(self, count):
+        dataset = make_squares(count, 0.02, seed=count)
+        result = memory_spatial_join(dataset, dataset)
+        assert result.pairs == brute_force_self_pairs(dataset)
+        assert result.complete
+
+    @pytest.mark.parametrize("count", [0, 1, 50, 300])
+    def test_non_self_join_matches_brute_force(self, count):
+        a = make_squares(count, 0.02, seed=count, name="A")
+        b = make_squares(max(count, 1), 0.03, seed=count + 1, name="B")
+        result = memory_spatial_join(a, b)
+        assert result.pairs == brute_force_pairs(a, b)
+
+    def test_within_distance_margin_applied(self):
+        a = make_squares(80, 0.01, seed=3, name="A")
+        b = make_squares(80, 0.01, seed=4, name="B")
+        predicate = WithinDistance(0.01)
+        result = memory_spatial_join(a, b, predicate=predicate)
+        assert result.pairs == brute_force_pairs(a, b, predicate.mbr_margin)
+
+    @pytest.mark.parametrize("cell_level", [0, 1, 3, 5])
+    def test_forced_cell_level_parity(self, cell_level):
+        a = make_squares(120, 0.015, seed=9, name="A")
+        b = make_squares(130, 0.02, seed=10, name="B")
+        expected = brute_force_pairs(a, b)
+        result = memory_spatial_join(a, b, cell_level=cell_level)
+        assert result.pairs == expected
+
+    def test_all_residual_skew(self):
+        # Every box straddles the center point: all land at level 0, so
+        # the join degenerates to one group pair (the worst-case skew).
+        entities = [
+            Entity.from_geometry(
+                eid, Rect(0.5 - d, 0.5 - d, 0.5 + d, 0.5 + d)
+            )
+            for eid, d in enumerate(np.linspace(0.01, 0.3, 30))
+        ]
+        dataset = SpatialDataset("skew", entities)
+        result = memory_spatial_join(dataset, dataset)
+        assert result.pairs == brute_force_self_pairs(dataset)
+        assert len(result.pairs) == 30 * 29 // 2
+
+    def test_metrics_shape(self):
+        a = make_squares(60, 0.02, seed=1, name="A")
+        b = make_squares(60, 0.02, seed=2, name="B")
+        result = memory_spatial_join(a, b)
+        metrics = result.metrics
+        assert metrics.details["mode"] == "memory"
+        assert metrics.total_ios == 0
+        assert set(metrics.breakdown()) == {"partition", "sort", "join"}
+        json.dumps(metrics.to_dict())  # must be serializable
+
+    def test_refine(self):
+        a = make_squares(60, 0.02, seed=5, name="A")
+        predicate = WithinDistance(0.01)
+        result = memory_spatial_join(a, a, predicate=predicate, refine=True)
+        assert result.refined is not None
+        assert result.refined <= result.pairs
+
+
+class TestCrossModeParity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_non_self_parity(self, workers):
+        a = make_squares(150, 0.015, seed=11, name="A")
+        b = make_squares(170, 0.02, seed=12, name="B")
+        ledger = spatial_join(a, b, workers=workers, mode="ledger")
+        memory = spatial_join(a, b, workers=workers, mode="memory")
+        assert ledger.pairs == memory.pairs == brute_force_pairs(a, b)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_self_join_within_distance_parity(self, workers):
+        a = make_squares(140, 0.01, seed=13)
+        predicate = WithinDistance(0.004)
+        ledger = spatial_join(
+            a, a, predicate=predicate, workers=workers, mode="ledger"
+        )
+        memory = spatial_join(
+            a, a, predicate=predicate, workers=workers, mode="memory"
+        )
+        expected = brute_force_self_pairs(a, predicate.mbr_margin)
+        assert ledger.pairs == memory.pairs == expected
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self):
+        a = make_squares(5, 0.1, seed=0)
+        with pytest.raises(ValueError, match="unknown mode"):
+            spatial_join(a, a, mode="turbo")
+
+    def test_memory_mode_requires_s3j(self):
+        a = make_squares(5, 0.1, seed=0)
+        with pytest.raises(ValueError, match="memory"):
+            spatial_join(a, a, algorithm="pbsm", mode="memory")
+
+    def test_memory_mode_rejects_storage(self):
+        from repro.join.api import default_storage_config
+
+        a = make_squares(5, 0.1, seed=0)
+        with pytest.raises(ValueError, match="storage"):
+            spatial_join(
+                a, a, mode="memory", storage=default_storage_config(a, a)
+            )
+
+    def test_memory_mode_rejects_ledger_params(self):
+        a = make_squares(5, 0.1, seed=0)
+        with pytest.raises(ValueError, match="dsb_level"):
+            spatial_join(a, a, mode="memory", dsb_level=2)
+
+    def test_runner_rejects_fault_layers(self):
+        from repro.experiments.runner import run_algorithm
+        from repro.faults.retry import RetryPolicy
+
+        a = make_squares(5, 0.1, seed=0)
+        with pytest.raises(ValueError, match="storage"):
+            run_algorithm(a, a, "s3j", mode="memory", retry=RetryPolicy())
+
+
+EXACT_EPS = 0.0625  # 2**-4: the distance below is exactly representable
+
+
+def _exact_margin_points() -> tuple[SpatialDataset, SpatialDataset]:
+    """Two points whose x-distance is *exactly* the predicate distance.
+
+    With ``WithinDistance(0.0625)`` each box expands by ``eps/2`` per
+    side, so the expanded boxes touch at x = 0.5 exactly — a pair that
+    only closed-interval semantics keeps, sitting precisely on a
+    Hilbert cell boundary at every level (the sharded planner's worst
+    case).
+    """
+    left = Entity.from_geometry(0, Rect(0.46875, 0.5, 0.46875, 0.5))
+    right = Entity.from_geometry(1, Rect(0.53125, 0.5, 0.53125, 0.5))
+    return (
+        SpatialDataset("left", [left]),
+        SpatialDataset("right", [right]),
+    )
+
+
+class TestWithinDistanceExactMargin:
+    """Regression: distance exactly equal to the predicate margin.
+
+    The pair's expanded MBRs share a single boundary point on the
+    center meridian; every executor configuration must report it.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["ledger", "memory"])
+    def test_non_self(self, workers, mode):
+        a, b = _exact_margin_points()
+        result = spatial_join(
+            a,
+            b,
+            predicate=WithinDistance(EXACT_EPS),
+            workers=workers,
+            mode=mode,
+        )
+        assert result.pairs == {(0, 1)}
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["ledger", "memory"])
+    def test_self(self, workers, mode):
+        a, b = _exact_margin_points()
+        dataset = SpatialDataset("both", list(a) + list(b))
+        result = spatial_join(
+            dataset,
+            dataset,
+            predicate=WithinDistance(EXACT_EPS),
+            workers=workers,
+            mode=mode,
+        )
+        assert result.pairs == {(0, 1)}
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["ledger", "memory"])
+    def test_exact_grid_chain(self, workers, mode):
+        # Points spaced exactly eps apart along y = 0.5: every adjacent
+        # pair sits exactly at the margin, non-adjacent pairs beyond it.
+        xs = [0.25 + k * EXACT_EPS for k in range(8)]
+        dataset = SpatialDataset(
+            "chain",
+            [
+                Entity.from_geometry(eid, Rect(x, 0.5, x, 0.5))
+                for eid, x in enumerate(xs)
+            ],
+        )
+        result = spatial_join(
+            dataset,
+            dataset,
+            predicate=WithinDistance(EXACT_EPS),
+            workers=workers,
+            mode=mode,
+        )
+        expected = {(eid, eid + 1) for eid in range(7)}
+        assert result.pairs == expected
+
+
+def _degenerate_datasets() -> dict[str, SpatialDataset]:
+    skew = SpatialDataset(
+        "skew",
+        [
+            Entity.from_geometry(
+                eid, Rect(0.5 - d, 0.5 - d, 0.5 + d, 0.5 + d)
+            )
+            for eid, d in enumerate([0.01, 0.05, 0.1, 0.2, 0.3])
+        ],
+    )
+    return {
+        "empty": SpatialDataset("empty", []),
+        "single": SpatialDataset(
+            "single", [Entity.from_geometry(0, Rect(0.4, 0.4, 0.6, 0.6))]
+        ),
+        "skew": skew,
+    }
+
+
+class TestDegenerateMatrix:
+    """0-entity, 1-entity, and all-residual inputs through every
+    algorithm, worker count, and execution mode that accepts them."""
+
+    @pytest.mark.parametrize("shape", ["empty", "single", "skew"])
+    @pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+    def test_serial_ledger(self, shape, algorithm):
+        dataset = _degenerate_datasets()[shape]
+        result = spatial_join(dataset, dataset, algorithm=algorithm)
+        assert result.pairs == brute_force_self_pairs(dataset)
+        assert result.complete
+
+    @pytest.mark.parametrize("shape", ["empty", "single", "skew"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("mode", ["ledger", "memory"])
+    def test_s3j_worker_mode_matrix(self, shape, workers, mode):
+        dataset = _degenerate_datasets()[shape]
+        result = spatial_join(
+            dataset, dataset, workers=workers, mode=mode
+        )
+        assert result.pairs == brute_force_self_pairs(dataset)
+        assert result.complete
+
+    @pytest.mark.parametrize("mode", ["ledger", "memory"])
+    def test_empty_against_populated(self, mode):
+        empty = _degenerate_datasets()["empty"]
+        populated = make_squares(30, 0.05, seed=21, name="pop")
+        for a, b in [(empty, populated), (populated, empty)]:
+            result = spatial_join(a, b, mode=mode)
+            assert result.pairs == frozenset()
+            assert result.complete

@@ -188,7 +188,10 @@ class TestDiffAndMinimize:
 class TestExecutors:
     def test_default_roster(self):
         names = [spec.name for spec in default_executors()]
-        assert names == ["pbsm", "rtree", "s3j", "shj", "sweep", "s3j@2w"]
+        assert names == [
+            "pbsm", "rtree", "s3j", "shj", "sweep",
+            "s3j@2w", "s3j:memory", "s3j:memory@2w",
+        ]
 
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(ValueError, match="unknown algorithms"):
