@@ -9,10 +9,11 @@ the upload area), else the repository root.
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from typing import Any
+
+from repro.obs.fileio import atomic_write_json
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -26,9 +27,12 @@ def bench_artifact_dir() -> Path:
 
 
 def write_bench_artifact(name: str, payload: dict[str, Any]) -> Path:
-    """Write ``BENCH_<name>.json`` and return its path."""
+    """Write ``BENCH_<name>.json`` atomically and return its path.
+
+    The write goes through :func:`repro.obs.fileio.atomic_write_json`
+    (temp sibling + ``os.replace``), so an interrupted benchmark never
+    leaves a truncated artifact for CI to upload.
+    """
     path = bench_artifact_dir() / f"BENCH_{name}.json"
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, payload)
     return path

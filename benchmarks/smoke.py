@@ -8,6 +8,13 @@ trace-event document, then leaves the JSON artifacts for CI to upload::
 
     python -m benchmarks.smoke --out-dir bench-artifacts --scale 0.05
 
+With ``--workers N`` (default 2) the run also exercises the execution
+observatory: an instrumented sharded join with the event log streaming
+to JSONL, whose report must carry a populated event stream and
+straggler analytics (one Gantt lane per shard, an imbalance factor),
+rendered through ``repro report`` both as terminal timeline and as the
+self-contained HTML artifact CI uploads.
+
 Exits nonzero when a report is missing a phase (or anything else is
 malformed), so the CI job fails loudly instead of shipping an empty
 artifact.
@@ -23,6 +30,7 @@ from pathlib import Path
 from repro.cli import main as repro_main
 from repro.experiments.runner import run_algorithm
 from repro.experiments.workloads import workload_by_name
+from repro.obs.events import events_from_jsonl
 from repro.obs.report import TABLE2_PHASES, RunReport
 
 WORKLOAD = "UN1-UN2"
@@ -102,10 +110,88 @@ def run_sharded(algorithm: str, scale: float) -> list[str]:
     return failures
 
 
+def run_observatory(out_dir: Path, scale: float, workers: int) -> list[str]:
+    """One sharded instrumented run through the execution observatory.
+
+    Streams the event log to JSONL, then requires the report to carry
+    the event stream and straggler analytics (one lane per shard, an
+    imbalance factor), and renders it with ``repro report`` — terminal
+    view to stdout, HTML artifact for CI to upload.
+    """
+    report_path = out_dir / "smoke_observatory.report.json"
+    events_path = out_dir / "smoke_observatory.events.jsonl"
+    html_path = out_dir / "smoke_observatory.html"
+    code = repro_main(
+        [
+            "join",
+            "--algorithm",
+            "s3j",
+            "--workload",
+            WORKLOAD,
+            "--scale",
+            str(scale),
+            "--workers",
+            str(workers),
+            "--report",
+            str(report_path),
+            "--events",
+            str(events_path),
+        ]
+    )
+    if code != 0:
+        return [f"observatory: repro join exited with {code}"]
+
+    failures: list[str] = []
+    report = RunReport.load(str(report_path))
+    if not report.events:
+        failures.append("observatory: report carries no events")
+    stream = events_from_jsonl(events_path.read_text(encoding="utf-8"))
+    if len(stream) != len(report.events):
+        failures.append(
+            f"observatory: streamed {len(stream)} events but the report "
+            f"carries {len(report.events)}"
+        )
+    analytics = report.analytics or {}
+    plan = report.metrics.details.get("plan") or {}
+    lanes = analytics.get("shards") or []
+    if plan.get("tasks") and len(lanes) != plan["tasks"]:
+        failures.append(
+            f"observatory: {len(lanes)} Gantt lanes for "
+            f"{plan['tasks']} shards"
+        )
+    if not analytics.get("imbalance_factor"):
+        failures.append("observatory: analytics has no imbalance factor")
+    if analytics.get("workers") != workers:
+        failures.append(
+            f"observatory: analytics says {analytics.get('workers')} "
+            f"workers, ran with {workers}"
+        )
+
+    # Render: terminal timeline to stdout, HTML artifact for upload.
+    for render_args in (
+        [str(report_path)],
+        [str(report_path), "--html", str(html_path)],
+    ):
+        code = repro_main(["report", *render_args])
+        if code != 0:
+            failures.append(f"observatory: repro report exited with {code}")
+    html = html_path.read_text(encoding="utf-8") if html_path.exists() else ""
+    for probe in ("Shard Gantt lanes", "imbalance factor", "Span flame view"):
+        if probe not in html:
+            failures.append(f"observatory: HTML report is missing {probe!r}")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out-dir", default="bench-artifacts")
     parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count of the observatory run (0 skips it)",
+    )
     args = parser.parse_args(argv)
 
     out_dir = Path(args.out_dir)
@@ -115,6 +201,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"=== smoke: {algorithm} ===")
         failures.extend(run_one(algorithm, out_dir, args.scale))
         failures.extend(run_sharded(algorithm, args.scale))
+    if args.workers > 0:
+        print(f"=== smoke: observatory ({args.workers} workers) ===")
+        failures.extend(run_observatory(out_dir, args.scale, args.workers))
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

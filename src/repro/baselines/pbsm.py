@@ -120,11 +120,17 @@ class PartitionBasedSpatialMergeJoin(SpatialJoinAlgorithm):
             self._file_name("candidates"), CandidatePairCodec()
         )
         repartitioned = 0
+        events = self.obs.events
         with self._phase("join"):
             for p in range(partitions):
                 repartitioned += self._join_pair(
                     files_a.get(p), files_b.get(p), candidates, pairs, depth=0
                 )
+                if events.enabled:
+                    events.emit(
+                        "shard_progress", phase="join", done=p + 1,
+                        total=partitions, detail=f"P{p}", pairs=len(pairs),
+                    )
             self.storage.phase_boundary()
 
         with self._phase("sort"):

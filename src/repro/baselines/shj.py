@@ -147,11 +147,18 @@ class SpatialHashJoin(SpatialJoinAlgorithm):
             self._file_name("result"), CandidatePairCodec()
         )
         overflowed = 0
+        events = self.obs.events
         with self._phase("join"):
             for index in range(len(partitions)):
                 overflowed += self._join_pair(
                     files_a.get(index), files_b.get(index), result, pairs
                 )
+                if events.enabled:
+                    events.emit(
+                        "shard_progress", phase="join", done=index + 1,
+                        total=len(partitions), detail=f"P{index}",
+                        pairs=len(pairs),
+                    )
             self.storage.phase_boundary()
 
         metrics = self._build_metrics(

@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro.cli join --algorithm s3j --workload UN1-UN2
+    python -m repro.cli report run.json [--html out.html]
     python -m repro.cli table3 [--scale 0.2]
     python -m repro.cli table4 [--scale 0.2] [--only TR,CFD] [--json]
     python -m repro.cli verify [--quick] [--json]
@@ -10,14 +11,22 @@ Four subcommands::
 `join` runs one algorithm on one of the paper's evaluation workloads
 and prints the phase breakdown; `--report PATH` additionally writes a
 machine-readable :class:`~repro.obs.report.RunReport` (``-`` prints the
-JSON to stdout instead of the human-readable summary) and
-`--trace PATH` writes a Chrome ``chrome://tracing`` trace-event file.
-`table3` and `table4` regenerate the paper's tables; ``table4 --json``
-emits the rows as JSON.  `verify` runs the differential correctness
-harness (:mod:`repro.verify`) — every registered algorithm plus a
-sharded run, cross-checked against the brute-force oracle under
-metamorphic transforms and ledger invariants — and exits non-zero on
-any divergence.
+JSON to stdout instead of the human-readable summary),
+`--trace PATH` writes a Chrome ``chrome://tracing`` trace-event file,
+and `--events PATH` streams the structured execution event log to a
+JSONL file live (``tail -f`` it while the run is in flight).  All
+artifact paths are validated up front — a bad combination (``--trace
+-``, a missing parent directory, two flags writing the same file)
+exits 2 with a clear message *before* the join runs.
+
+`report` renders a saved RunReport: the terminal view (phase table,
+shard Gantt lanes, straggler analytics) and, with ``--html``, a
+self-contained HTML report.  `table3` and `table4` regenerate the
+paper's tables; ``table4 --json`` emits the rows as JSON.  `verify`
+runs the differential correctness harness (:mod:`repro.verify`) —
+every registered algorithm plus a sharded run, cross-checked against
+the brute-force oracle under metamorphic transforms and ledger
+invariants — and exits non-zero on any divergence.
 
 Fault tolerance (DESIGN.md section 11): ``join --retry-attempts`` /
 ``--retry-backoff`` install the retrying storage layer,
@@ -31,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.curves.base import DEFAULT_ORDER
@@ -166,7 +176,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a Chrome trace-event file (open in chrome://tracing)",
     )
+    join.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="stream the structured event log to a JSONL file live "
+        "(tail -f it to watch shard lifecycle while the run is in flight)",
+    )
     _add_scale(join)
+
+    report = commands.add_parser(
+        "report", help="render a saved RunReport (terminal and/or HTML)"
+    )
+    report.add_argument("path", help="RunReport JSON written by join --report")
+    report.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="additionally write a self-contained HTML report",
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a compact machine-readable summary instead of the "
+        "terminal view",
+    )
 
     table3 = commands.add_parser("table3", help="regenerate Table 3")
     _add_scale(table3)
@@ -250,8 +284,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _validate_output_paths(args: argparse.Namespace) -> str | None:
+    """Check join's artifact flags before running anything.
+
+    ``--report -`` means "JSON to stdout", but a trace or event stream
+    has nowhere sensible to go on stdout next to it; and a typo'd
+    directory should fail *before* minutes of join work, not after.
+    Returns an error message, or None when the combination is valid.
+    """
+    seen: dict[str, str] = {}
+    for flag, path in (
+        ("--report", args.report),
+        ("--trace", args.trace),
+        ("--events", args.events),
+    ):
+        if path is None:
+            continue
+        if path == "-":
+            if flag != "--report":
+                return (
+                    f"{flag} cannot write to stdout ('-'); give it a file path"
+                )
+            continue
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            return (
+                f"{flag}: parent directory {parent!r} does not exist "
+                f"(create it first)"
+            )
+        if os.path.isdir(path):
+            return f"{flag}: {path!r} is a directory"
+        resolved = os.path.abspath(path)
+        if resolved in seen:
+            return (
+                f"{seen[resolved]} and {flag} both write to {path!r}; "
+                f"give them distinct paths"
+            )
+        seen[resolved] = flag
+    return None
+
+
 def cmd_join(args: argparse.Namespace) -> int:
     """Run one algorithm on one evaluation workload."""
+    error = _validate_output_paths(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     scale = args.scale if args.scale is not None else default_scale()
     workload = workload_by_name(args.workload)
     dataset_a, dataset_b = workload.datasets(scale)
@@ -310,7 +388,13 @@ def cmd_join(args: argparse.Namespace) -> int:
             crash_shards=tuple(args.inject_crash.split(",")),
             crash_attempts=args.crash_attempts,
         )
-    obs = Observability() if (args.report or args.trace) else None
+    obs = None
+    event_log = None
+    if args.report or args.trace or args.events:
+        from repro.obs.events import EventLog
+
+        event_log = EventLog(stream_path=args.events)
+        obs = Observability(events=event_log)
     from repro.faults.errors import ShardExecutionError
 
     try:
@@ -336,6 +420,11 @@ def cmd_join(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    finally:
+        if event_log is not None:
+            event_log.close()
+            if args.events:
+                print(f"events    : {args.events}", file=sys.stderr)
     metrics = run.result.metrics
     if args.report == "-":
         # Pure JSON on stdout: no human-readable summary mixed in.
@@ -373,9 +462,9 @@ def cmd_join(args: argparse.Namespace) -> int:
             run.report.save(args.report)
             print(f"report    : {args.report}", file=sys.stderr)
     if args.trace:
-        with open(args.trace, "w", encoding="utf-8") as handle:
-            json.dump(obs.tracer.to_chrome_trace(), handle)
-            handle.write("\n")
+        from repro.obs.fileio import atomic_write_json
+
+        atomic_write_json(args.trace, obs.tracer.to_chrome_trace(), indent=None)
         print(f"trace     : {args.trace}", file=sys.stderr)
     if not run.result.complete:
         print(
@@ -384,6 +473,42 @@ def cmd_join(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a saved RunReport as terminal timeline and/or HTML."""
+    from repro.obs.render import render_report, summary_dict
+    from repro.obs.report import RunReport
+
+    try:
+        report = RunReport.load(args.path)
+    except FileNotFoundError:
+        print(f"error: no such report: {args.path}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, json.JSONDecodeError) as error:
+        print(
+            f"error: {args.path} is not a RunReport JSON: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.html is not None:
+        parent = os.path.dirname(args.html) or "."
+        if not os.path.isdir(parent):
+            print(
+                f"error: --html: parent directory {parent!r} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+    if args.json:
+        print(json.dumps(summary_dict(report), indent=2, sort_keys=True))
+    else:
+        print(render_report(report), end="")
+    if args.html is not None:
+        from repro.obs.html import write_html_report
+
+        write_html_report(report, args.html)
+        print(f"html      : {args.html}", file=sys.stderr)
     return 0
 
 
@@ -494,6 +619,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "join": cmd_join,
+        "report": cmd_report,
         "table3": cmd_table3,
         "table4": cmd_table4,
         "verify": cmd_verify,

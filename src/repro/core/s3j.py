@@ -100,10 +100,16 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
                 metrics=metrics,
             )
 
+        events = self.obs.events
         with self._phase("partition"):
             with tracer.span("partition:A", side="A") as span:
                 levels_a = self._partition(input_a, "A", bitmap=bitmap, building=True)
                 span.set(levels=len(levels_a))
+            if events.enabled:
+                events.emit(
+                    "shard_progress", phase="partition", done=1, total=2,
+                    detail="A", levels=len(levels_a),
+                )
             # A's level-file tails are complete: write them now (one
             # sequential write each, due at the phase boundary anyway)
             # so B's scan never evicts dirty A pages in LRU-recency
@@ -113,6 +119,11 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
             with tracer.span("partition:B", side="B") as span:
                 levels_b = self._partition(input_b, "B", bitmap=bitmap, building=False)
                 span.set(levels=len(levels_b))
+            if events.enabled:
+                events.emit(
+                    "shard_progress", phase="partition", done=2, total=2,
+                    detail="B", levels=len(levels_b),
+                )
             self.storage.phase_boundary()
         if metrics is not None and bitmap is not None:
             metrics.gauge("dsb.population_bits", bitmap.population())
@@ -143,6 +154,7 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
                     emit,
                     stats=stats,
                     metrics=metrics,
+                    events=events,
                 )
                 span.set(pages=processed, pairs=len(pairs))
             self.storage.phase_boundary()
@@ -220,7 +232,9 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
         """Sort every level file by Hilbert value."""
         sorter = ExternalSorter(self.storage)
         sorted_files: dict[int, PagedFile] = {}
-        for level, handle in sorted(level_files.items()):
+        events = self.obs.events
+        ordered = sorted(level_files.items())
+        for done, (level, handle) in enumerate(ordered, start=1):
             outcome = sorter.sort(
                 handle,
                 self._file_name(f"{tag}-L{level}-sorted"),
@@ -228,4 +242,10 @@ class SizeSeparationSpatialJoin(SpatialJoinAlgorithm):
             )
             sorted_files[level] = outcome.output
             self.storage.drop_file(handle.name)
+            if events.enabled:
+                events.emit(
+                    "shard_progress", phase="sort", done=done,
+                    total=len(ordered), detail=f"{tag}-L{level}",
+                    records=outcome.output.num_records,
+                )
         return sorted_files

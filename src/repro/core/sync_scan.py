@@ -30,6 +30,7 @@ from repro.storage.records import HKEY, XLO
 from repro.sweep.plane_sweep import sweep_intersections
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventSink
     from repro.obs.metrics import MetricsRegistry
 
 PairSink = Callable[[Record, Record], None]
@@ -45,6 +46,7 @@ def synchronized_scan(
     on_pair: PairSink,
     stats: IOStats | None = None,
     metrics: MetricsRegistry | None = None,
+    events: EventSink | None = None,
 ) -> int:
     """Merge the sorted level files of both data sets, reporting every
     pair of MBR-intersecting descriptors to ``on_pair`` (``a`` first).
@@ -55,8 +57,11 @@ def synchronized_scan(
 
     ``metrics`` (observability only — never part of the simulated
     ledger) records open-page depth, per-level-pair sweep counts, and
-    candidate pairs tested versus emitted.
+    candidate pairs tested versus emitted.  ``events`` (also
+    observability-only) receives a rate-limited liveness heartbeat per
+    merged page, so a long scan stays visible in the event stream.
     """
+    beat = events is not None and events.enabled
     streams = [
         _page_stream(handle, level, order, _SIDE_A, stats)
         for level, handle in files_a.items()
@@ -101,6 +106,8 @@ def synchronized_scan(
                     emitted += 1
             open_b.append((max_end, records, level))
         processed += 1
+        if beat:
+            events.heartbeat("join")
 
     if metrics is not None:
         metrics.count("scan.pairs_emitted", emitted)

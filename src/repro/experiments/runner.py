@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -134,6 +135,21 @@ def run_algorithm(
             config = dataclasses.replace(
                 config, retry=retry, fault_plan=fault_plan
             )
+    # Sharded runs get their run_started/run_completed bracket from the
+    # parallel executor (which knows the shard plan); serial runs get
+    # theirs here so every instrumented run's event stream is bracketed.
+    events = obs.events if obs is not None else None
+    serial = workers == 1 and shard_level is None
+    bracket = events is not None and events.enabled and serial
+    if bracket:
+        events.emit(
+            "run_started",
+            algorithm=algorithm,
+            mode=mode,
+            workers=1,
+            self_join=dataset_a is dataset_b,
+        )
+    t0 = time.perf_counter()
     result = spatial_join(
         dataset_a,
         dataset_b,
@@ -146,6 +162,13 @@ def run_algorithm(
         mode=mode,
         **params,
     )
+    if bracket:
+        events.emit(
+            "run_completed",
+            algorithm=algorithm,
+            pairs=len(result.pairs),
+            wall_s=time.perf_counter() - t0,
+        )
     report = None
     if obs is not None and obs.enabled:
         report = build_run_report(

@@ -41,6 +41,7 @@ from repro.join.metrics import JoinMetrics
 from repro.join.predicates import Intersects, JoinPredicate
 from repro.join.result import JoinResult, canonical_pairs
 from repro.obs import NULL_OBS, Observability
+from repro.obs.events import progress_emitter
 from repro.storage.costs import CostModel, sort_comparison_count
 from repro.storage.iostats import PhaseStats
 
@@ -221,7 +222,12 @@ def memory_spatial_join(
             eids_a: list[np.ndarray] = []
             eids_b: list[np.ndarray] = []
             candidates = 0
-            for ga, gb in _nested_group_pairs(groups_a, groups_b, self_join):
+            group_pairs = _nested_group_pairs(groups_a, groups_b, self_join)
+            on_progress = progress_emitter(
+                obs.events, "join", len(group_pairs),
+                every=max(1, len(group_pairs) // 8),
+            )
+            for done, (ga, gb) in enumerate(group_pairs, start=1):
                 aeid, axlo, aylo, axhi, ayhi = groups_a.slice(ga)
                 beid, bxlo, bylo, bxhi, byhi = groups_b.slice(gb)
                 ia, ib = forward_sweep_pairs(axlo, axhi, bxlo, bxhi)
@@ -229,6 +235,8 @@ def memory_spatial_join(
                 keep = (aylo[ia] <= byhi[ib]) & (bylo[ib] <= ayhi[ia])
                 eids_a.append(aeid[ia[keep]])
                 eids_b.append(beid[ib[keep]])
+                if on_progress is not None:
+                    on_progress(done, f"cells:{ga}x{gb}")
             phases["join"].charge_cpu("mbr_test", candidates)
             if eids_a:
                 raw = list(

@@ -30,6 +30,16 @@ Typical use::
 
 from __future__ import annotations
 
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    NULL_EVENTS,
+    BufferedEventSink,
+    EventLog,
+    EventSink,
+    events_from_jsonl,
+    progress_emitter,
+)
 from repro.obs.metrics import (
     NULL_METRICS,
     Histogram,
@@ -44,28 +54,36 @@ from repro.obs.report import (
     build_run_report,
     phase_wall_times,
 )
+from repro.obs.straggler import StragglerAnalytics, analyze_events
 
 
 class Observability:
-    """One run's tracer and metrics registry, threaded together.
+    """One run's tracer, metrics registry, and event sink.
 
-    ``Observability()`` builds enabled instruments; pass explicit
-    instances to mix (e.g. tracing without metrics).
+    ``Observability()`` builds an enabled tracer and registry; pass
+    explicit instances to mix (e.g. tracing without metrics).  The
+    event sink defaults to :data:`NULL_EVENTS` — opt into the event
+    stream with ``Observability(events=EventLog())`` (see
+    :mod:`repro.obs.events`).
     """
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "events")
 
     def __init__(
         self,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        events: EventSink | None = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events if events is not None else NULL_EVENTS
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics.enabled
+        return (
+            self.tracer.enabled or self.metrics.enabled or self.events.enabled
+        )
 
     @property
     def active_metrics(self) -> MetricsRegistry | None:
@@ -76,15 +94,25 @@ class Observability:
     @classmethod
     def disabled(cls) -> Observability:
         """A fresh all-disabled instance (prefer :data:`NULL_OBS`)."""
-        return cls(tracer=NullTracer(), metrics=NullMetricsRegistry())
+        return cls(
+            tracer=NullTracer(), metrics=NullMetricsRegistry(), events=EventSink()
+        )
 
 
-NULL_OBS = Observability(tracer=NULL_TRACER, metrics=NULL_METRICS)
+NULL_OBS = Observability(
+    tracer=NULL_TRACER, metrics=NULL_METRICS, events=NULL_EVENTS
+)
 """The shared no-op observability object (safe: it stores nothing)."""
 
 __all__ = [
+    "BufferedEventSink",
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EventLog",
+    "EventSink",
     "Histogram",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_METRICS",
     "NULL_OBS",
     "NULL_TRACER",
@@ -93,9 +121,13 @@ __all__ = [
     "Observability",
     "RunReport",
     "Span",
+    "StragglerAnalytics",
     "TABLE2_PHASES",
     "Tracer",
+    "analyze_events",
     "build_run_report",
+    "events_from_jsonl",
     "phase_wall_times",
+    "progress_emitter",
     "series_key",
 ]

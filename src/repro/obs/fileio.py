@@ -1,0 +1,58 @@
+"""Atomic artifact writes.
+
+Every JSON artifact the system emits (``--report`` / ``--trace`` run
+files, ``BENCH_*.json`` benchmark artifacts, the trajectory history)
+goes through :func:`atomic_write_text`: the content is written to a
+temporary sibling file and moved into place with :func:`os.replace`,
+which is atomic on POSIX and Windows.  An interrupted run therefore
+either leaves the previous artifact untouched or the new one complete —
+never a truncated JSON document that poisons downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_text(path: str | os.PathLike[str], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the destination directory (``os.replace``
+    must not cross filesystems) and is removed on any failure, so a
+    crashed write leaves neither a truncated destination nor litter.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str | os.PathLike[str],
+    payload: Any,
+    indent: int | None = 2,
+    sort_keys: bool = True,
+) -> None:
+    """Serialize ``payload`` and write it atomically.
+
+    Serialization happens *before* the temporary file is created, so a
+    payload that fails to encode never disturbs the existing artifact.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_text(path, text)

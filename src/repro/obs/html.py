@@ -1,0 +1,272 @@
+"""Self-contained HTML rendering of a :class:`~repro.obs.report.RunReport`.
+
+``repro report run.json --html out.html`` writes a single HTML file —
+inline CSS, no JavaScript, no external assets — that renders:
+
+- the run summary and per-phase table (simulated vs wall seconds);
+- the **span flame view**: the tracer's nested span tree as stacked
+  bars positioned on the run's wall-clock timeline;
+- the **shard Gantt lanes**: one bar per shard from the straggler
+  analytics, colored by kind (cell vs residual) with the critical-path
+  shard highlighted;
+- the straggler metrics table (imbalance factor, residual share,
+  duration percentiles, parallel efficiency, fault counts).
+
+Everything is rendered server-side from the serialized report, so the
+artifact is safe to archive in CI and opens anywhere.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from typing import Any
+
+from repro.obs.fileio import atomic_write_text
+from repro.obs.render import _fmt_seconds
+from repro.obs.report import RunReport
+from repro.obs.straggler import StragglerAnalytics
+
+_MAX_FLAME_DEPTH = 12
+
+_CSS = """
+body { font: 13px/1.45 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 960px; color: #1a1a2e; padding: 0 1em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.8em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+th, td { padding: 0.25em 0.8em; text-align: right; border-bottom: 1px solid #e0e0e8; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f4f4f8; }
+.timeline { position: relative; background: #f7f7fb; border: 1px solid #e0e0e8;
+            border-radius: 3px; margin: 0.4em 0; }
+.bar { position: absolute; height: 16px; border-radius: 2px; overflow: hidden;
+       font-size: 10px; line-height: 16px; color: #fff; padding-left: 3px;
+       white-space: nowrap; box-sizing: border-box; }
+.lane-label { display: inline-block; width: 110px; font-family: monospace;
+              font-size: 11px; vertical-align: top; }
+.lane-row { margin: 2px 0; }
+.lane-track { display: inline-block; position: relative; height: 16px;
+              width: calc(100% - 260px); background: #f7f7fb;
+              border: 1px solid #e8e8f0; vertical-align: top; }
+.lane-note { display: inline-block; width: 130px; font-family: monospace;
+             font-size: 11px; padding-left: 6px; }
+.cell { background: #4a7ebb; } .residual { background: #c0504d; }
+.failed { background: repeating-linear-gradient(45deg, #999, #999 4px,
+          #ccc 4px, #ccc 8px); }
+.critical { outline: 2px solid #e8a33d; }
+.kv td { text-align: left; }
+footer { margin-top: 3em; color: #888; font-size: 11px; }
+"""
+
+_FLAME_COLORS = (
+    "#4a7ebb", "#5b9aa0", "#6b8e23", "#b8860b", "#c0504d",
+    "#8064a2", "#4bacc6", "#9a6a4f",
+)
+
+
+def _esc(value: Any) -> str:
+    return html_escape.escape(str(value))
+
+
+def _flame_rows(
+    spans: list[dict[str, Any]],
+    origin_s: float,
+    total_s: float,
+    depth: int,
+    rows: list[str],
+) -> int:
+    """Append one absolutely-positioned bar per span; returns max depth."""
+    deepest = depth
+    for span in spans:
+        if depth >= _MAX_FLAME_DEPTH or total_s <= 0:
+            break
+        left = max(0.0, (span["start_s"] - origin_s) / total_s * 100)
+        width = max(0.15, span["wall_s"] / total_s * 100)
+        width = min(width, 100 - left)
+        color = _FLAME_COLORS[depth % len(_FLAME_COLORS)]
+        title = (
+            f"{span['name']} — {_fmt_seconds(span['wall_s'])} wall, "
+            f"{_fmt_seconds(span['cpu_s'])} cpu"
+        )
+        rows.append(
+            f'<div class="bar" style="left:{left:.3f}%;width:{width:.3f}%;'
+            f"top:{depth * 19}px;background:{color}\" "
+            f'title="{_esc(title)}">{_esc(span["name"])}</div>'
+        )
+        child_deepest = _flame_rows(
+            span.get("children", []), origin_s, total_s, depth + 1, rows
+        )
+        deepest = max(deepest, child_deepest)
+    return deepest
+
+
+def _flame_section(report: RunReport) -> str:
+    spans = report.spans
+    if not spans:
+        return ""
+    origin = min(span["start_s"] for span in spans)
+    total = max(
+        span["start_s"] + span["wall_s"] for span in spans
+    ) - origin
+    rows: list[str] = []
+    deepest = _flame_rows(spans, origin, total, 0, rows)
+    height = (deepest + 1) * 19 + 4
+    return (
+        "<h2>Span flame view</h2>"
+        f"<p>Wall-clock timeline, {_fmt_seconds(total)} total; hover a bar "
+        "for its wall/CPU split.</p>"
+        f'<div class="timeline" style="height:{height}px">'
+        + "".join(rows)
+        + "</div>"
+    )
+
+
+def _gantt_section(analytics: StragglerAnalytics) -> str:
+    lanes = sorted(
+        analytics.lanes, key=lambda lane: (lane.start_s, lane.shard_id)
+    )
+    if not lanes:
+        return ""
+    origin = min(lane.start_s for lane in lanes)
+    span = max(lane.end_s for lane in lanes) - origin
+    critical = (analytics.critical_path or {}).get("shard_id")
+    rows = []
+    for lane in lanes:
+        if span > 0:
+            left = (lane.start_s - origin) / span * 100
+            width = max(0.3, lane.wall_s / span * 100)
+        else:
+            left, width = 0.0, 100.0
+        width = min(width, 100 - left)
+        classes = ["bar", "failed" if lane.failed else
+                   ("residual" if "residual" in lane.kind else "cell")]
+        if lane.shard_id == critical:
+            classes.append("critical")
+        note = "failed" if lane.failed else _fmt_seconds(lane.wall_s)
+        if lane.pairs is not None:
+            note += f" · {lane.pairs:,}p"
+        if lane.attempts > 1:
+            note += f" · x{lane.attempts}"
+        title = (
+            f"{lane.shard_id} ({lane.kind}) — {note}, "
+            f"{lane.records if lane.records is not None else '?'} records"
+        )
+        rows.append(
+            '<div class="lane-row">'
+            f'<span class="lane-label">{_esc(lane.shard_id)}</span>'
+            '<span class="lane-track">'
+            f'<div class="{" ".join(classes)}" '
+            f'style="left:{left:.3f}%;width:{width:.3f}%;top:0" '
+            f'title="{_esc(title)}"></div></span>'
+            f'<span class="lane-note">{_esc(note)}</span></div>'
+        )
+    legend = (
+        '<p><span class="bar cell" style="position:static;display:inline-block;'
+        'width:2.2em">&nbsp;</span> cell shard &nbsp; '
+        '<span class="bar residual" style="position:static;display:inline-block;'
+        'width:2.2em">&nbsp;</span> residual shard &nbsp; '
+        "orange outline = critical path</p>"
+    )
+    return (
+        f"<h2>Shard Gantt lanes ({len(lanes)} shards, makespan "
+        f"{_fmt_seconds(analytics.makespan_s)})</h2>"
+        + legend
+        + "".join(rows)
+    )
+
+
+def _straggler_table(analytics: StragglerAnalytics) -> str:
+    pct = analytics.duration_percentiles
+    rows = [
+        ("shards", str(analytics.shard_count)),
+        ("workers", str(analytics.workers or "-")),
+        ("makespan", _fmt_seconds(analytics.makespan_s)),
+        ("total shard work", _fmt_seconds(analytics.total_shard_s)),
+        (
+            "imbalance factor (max/mean)",
+            "-" if analytics.imbalance_factor is None
+            else f"{analytics.imbalance_factor:.2f}",
+        ),
+        (
+            "residual share",
+            "-" if analytics.residual_share is None
+            else f"{analytics.residual_share * 100:.1f}%",
+        ),
+        (
+            "parallel efficiency",
+            "-" if analytics.parallel_efficiency is None
+            else f"{analytics.parallel_efficiency * 100:.1f}%",
+        ),
+        (
+            "shard duration p50 / p95 / p99 / max",
+            f"{_fmt_seconds(pct.get('p50'))} / {_fmt_seconds(pct.get('p95'))}"
+            f" / {_fmt_seconds(pct.get('p99'))} / {_fmt_seconds(pct.get('max'))}"
+            if pct else "-",
+        ),
+        (
+            "retries / timeouts / failures",
+            f"{analytics.retries} / {analytics.timeouts} / {analytics.failures}",
+        ),
+    ]
+    body = "".join(
+        f"<tr><td>{_esc(k)}</td><td>{_esc(v)}</td></tr>" for k, v in rows
+    )
+    return (
+        "<h2>Straggler analytics</h2>"
+        f'<table class="kv"><tbody>{body}</tbody></table>'
+    )
+
+
+def _phase_section(report: RunReport) -> str:
+    table = report.phase_table()
+    if not table:
+        return ""
+    rows = "".join(
+        f"<tr><td>{_esc(name)}</td><td>{row['simulated_s']:.2f}s</td>"
+        f"<td>{_fmt_seconds(row['wall_s'])}</td><td>{row['ios']:,.0f}</td>"
+        f"<td>{row['reads']:,.0f}</td><td>{row['writes']:,.0f}</td></tr>"
+        for name, row in table.items()
+    )
+    return (
+        "<h2>Phases</h2><table><thead><tr><th>phase</th><th>simulated</th>"
+        "<th>wall</th><th>I/Os</th><th>reads</th><th>writes</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table>"
+    )
+
+
+def render_html(report: RunReport) -> str:
+    """The report as one self-contained HTML document."""
+    mode = report.metrics.details.get("mode", "ledger")
+    workload = report.workload or "?"
+    scale = f" @ scale {report.scale}" if report.scale is not None else ""
+    analytics = (
+        StragglerAnalytics.from_dict(report.analytics)
+        if report.analytics
+        else None
+    )
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>repro report — {_esc(report.algorithm)} on "
+        f"{_esc(workload)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(report.algorithm)} on {_esc(workload)}{_esc(scale)}</h1>",
+        f"<p>mode <b>{_esc(mode)}</b> · <b>{report.pairs:,}</b> pairs · "
+        f"{_fmt_seconds(report.wall_seconds)} wall · "
+        f"{report.simulated_seconds:.2f}s simulated · "
+        f"{len(report.events)} events</p>",
+        _phase_section(report),
+        _flame_section(report),
+    ]
+    if analytics is not None and analytics.lanes:
+        parts.append(_gantt_section(analytics))
+        parts.append(_straggler_table(analytics))
+    parts.append(
+        "<footer>Generated by <code>repro report</code> — Size Separation "
+        "Spatial Join reproduction. Self-contained; no external assets."
+        "</footer></body></html>"
+    )
+    return "".join(parts)
+
+
+def write_html_report(report: RunReport, path: str) -> None:
+    """Render and write the HTML artifact atomically."""
+    atomic_write_text(path, render_html(report))

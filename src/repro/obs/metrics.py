@@ -31,16 +31,26 @@ def series_key(name: str, labels: dict[str, Any]) -> str:
     return f"{name}{{{rendered}}}"
 
 
-class Histogram:
-    """A fixed-memory summary of observed values.
+QUANTILE_SAMPLE_CAP = 4096
+"""Samples retained per histogram for exact quantiles.  Distributions
+that outgrow the cap (bulk I/O series) fall back to bucket-interpolated
+approximations; the series the quantiles matter for — shard durations,
+per-shard pair counts — stay far below it."""
 
-    Tracks count, sum, min, max, and counts per power-of-two bucket
-    (bucket ``e`` holds values in ``(2^(e-1), 2^e]``; zero and negative
-    values land in a dedicated underflow bucket keyed ``"<=0"``), so a
-    distribution's shape survives serialization without storing samples.
+
+class Histogram:
+    """A bounded-memory summary of observed values.
+
+    Tracks count, sum, min, max, counts per power-of-two bucket (bucket
+    ``e`` holds values in ``(2^(e-1), 2^e]``; zero and negative values
+    land in a dedicated underflow bucket keyed ``"<=0"``) — and, up to
+    :data:`QUANTILE_SAMPLE_CAP` observations, the raw samples, so
+    :meth:`quantile` (and the ``p50``/``p95``/``p99`` fields of
+    :meth:`as_dict`) is *exact*.  Past the cap the samples are dropped
+    and quantiles degrade to power-of-two bucket interpolation.
     """
 
-    __slots__ = ("count", "total", "min", "max", "buckets")
+    __slots__ = ("count", "total", "min", "max", "buckets", "samples")
 
     def __init__(self) -> None:
         self.count = 0
@@ -48,6 +58,7 @@ class Histogram:
         self.min: float | None = None
         self.max: float | None = None
         self.buckets: dict[str, int] = {}
+        self.samples: list[float] | None = []
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -61,14 +72,75 @@ class Histogram:
         else:
             key = str(math.ceil(math.log2(value)) if value > 1 else 0)
         self.buckets[key] = self.buckets.get(key, 0) + 1
+        if self.samples is not None:
+            if len(self.samples) < QUANTILE_SAMPLE_CAP:
+                self.samples.append(value)
+            else:
+                self.samples = None
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def exact_quantiles(self) -> bool:
+        """Whether :meth:`quantile` is exact (samples all retained)."""
+        return self.samples is not None and len(self.samples) == self.count
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-quantile (``0 <= q <= 1``) of the observations.
+
+        Exact (linear interpolation between order statistics, the
+        numpy/R-7 definition) while the samples fit the retention cap;
+        bucket-interpolated — and flagged by :attr:`exact_quantiles` —
+        once they no longer do.  ``None`` when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        if self.exact_quantiles:
+            ordered = sorted(self.samples)
+            position = q * (len(ordered) - 1)
+            lo = math.floor(position)
+            hi = math.ceil(position)
+            if lo == hi:
+                return ordered[lo]
+            frac = position - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return self._bucket_quantile(q)
+
+    def _bucket_quantile(self, q: float) -> float:
+        """Approximate quantile from the power-of-two buckets: find the
+        bucket holding the target rank and interpolate linearly inside
+        its value range (clamped to the observed min/max)."""
+        target = q * (self.count - 1)
+        seen = 0
+
+        def bounds(key: str) -> tuple[float, float]:
+            if key == "<=0":
+                return (min(self.min or 0.0, 0.0), 0.0)
+            exponent = int(key)
+            lo = 0.0 if exponent == 0 else float(2 ** (exponent - 1))
+            return (lo, float(2**exponent))
+
+        for key in sorted(self.buckets, key=bounds):
+            bucket_count = self.buckets[key]
+            if seen + bucket_count > target:
+                lo, hi = bounds(key)
+                if self.min is not None:
+                    lo = max(lo, self.min)
+                if self.max is not None:
+                    hi = min(hi, self.max)
+                within = (target - seen) / bucket_count
+                return lo + (hi - lo) * within
+            seen += bucket_count
+        return float(self.max if self.max is not None else 0.0)
+
     def merge(self, other: Histogram) -> None:
         """Fold another histogram's samples into this one (exact: the
-        summary is closed under merging)."""
+        summary is closed under merging, including retained samples —
+        unless the union outgrows the retention cap)."""
         self.count += other.count
         self.total += other.total
         if other.min is not None and (self.min is None or other.min < self.min):
@@ -77,6 +149,14 @@ class Histogram:
             self.max = other.max
         for key, count in other.buckets.items():
             self.buckets[key] = self.buckets.get(key, 0) + count
+        if (
+            self.samples is not None
+            and other.samples is not None
+            and len(self.samples) + len(other.samples) <= QUANTILE_SAMPLE_CAP
+        ):
+            self.samples.extend(other.samples)
+        else:
+            self.samples = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -85,7 +165,12 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "exact_quantiles": self.exact_quantiles,
             "buckets": dict(self.buckets),
+            "samples": None if self.samples is None else list(self.samples),
         }
 
     @classmethod
@@ -96,6 +181,12 @@ class Histogram:
         hist.min = data["min"]
         hist.max = data["max"]
         hist.buckets = {str(k): int(v) for k, v in data["buckets"].items()}
+        samples = data.get("samples")
+        # Pre-quantile dumps carry no samples: treat them as overflowed
+        # (quantiles degrade to bucket interpolation, never lie).
+        hist.samples = None if samples is None else [float(v) for v in samples]
+        if hist.samples is not None and len(hist.samples) != hist.count:
+            hist.samples = None
         return hist
 
     def __repr__(self) -> str:

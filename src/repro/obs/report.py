@@ -20,6 +20,8 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.fileio import atomic_write_text
+from repro.obs.straggler import analyze_events
 from repro.obs.tracer import Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -30,7 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.join.result import JoinResult
     from repro.obs import Observability
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+"""Version 2 adds the execution event stream (``events``) and the
+straggler analytics derived from it (``analytics``); version-1 reports
+load fine with both empty."""
+
+_ACCEPTED_SCHEMAS = (1, 2)
 
 TABLE2_PHASES: dict[str, tuple[str, ...]] = {
     "s3j": ("partition", "sort", "join"),
@@ -80,6 +87,8 @@ class RunReport:
     workload: str | None = None
     scale: float | None = None
     meta: dict[str, Any] = field(default_factory=dict)
+    events: list[dict[str, Any]] = field(default_factory=list)
+    analytics: dict[str, Any] | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -121,25 +130,27 @@ class RunReport:
             "registry": self.registry,
             "spans": self.spans,
             "meta": self.meta,
+            "events": self.events,
+            "analytics": self.analytics,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
-            handle.write("\n")
+        """Write the report atomically (temp file + ``os.replace``), so
+        an interrupted run never leaves a truncated JSON artifact."""
+        atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> RunReport:
         from repro.join.metrics import JoinMetrics
 
         version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in _ACCEPTED_SCHEMAS:
             raise ValueError(
                 f"unsupported RunReport schema version {version!r} "
-                f"(expected {SCHEMA_VERSION})"
+                f"(accepted: {_ACCEPTED_SCHEMAS})"
             )
         return cls(
             algorithm=data["algorithm"],
@@ -152,6 +163,8 @@ class RunReport:
             workload=data["workload"],
             scale=data["scale"],
             meta=data.get("meta", {}),
+            events=data.get("events", []),
+            analytics=data.get("analytics"),
         )
 
     @classmethod
@@ -180,6 +193,12 @@ def build_run_report(
     tracer: Tracer = obs.tracer
     if wall_seconds is None:
         wall_seconds = sum(span.wall_s for span in tracer.roots)
+    events: list[dict[str, Any]] = []
+    analytics: dict[str, Any] | None = None
+    if obs.events.enabled:
+        events = obs.events.to_dicts()
+        if events:
+            analytics = analyze_events(events).to_dict()
     return RunReport(
         algorithm=result.metrics.algorithm,
         metrics=result.metrics,
@@ -191,4 +210,6 @@ def build_run_report(
         workload=workload,
         scale=scale,
         meta=dict(meta),
+        events=events,
+        analytics=analytics,
     )

@@ -78,7 +78,11 @@ class _SpanContext:
         self._span = span
 
     def __enter__(self) -> Span:
-        self._t0_wall = time.perf_counter()
+        # Anchor the wall clock at the span's creation stamp (start_s)
+        # rather than a fresh perf_counter() read: a span's end is then
+        # exactly ``start_s + wall_s`` on the tracer's timeline, so
+        # children always nest inside their parents in exports.
+        self._t0_wall = self._tracer._epoch + self._span.start_s
         self._t0_cpu = time.process_time()
         return self._span
 
@@ -161,10 +165,22 @@ class Tracer:
         """The Chrome trace-event format (``chrome://tracing``).
 
         Spans become complete ("ph": "X") events with microsecond
-        timestamps; span attributes ride along in ``args``.
+        timestamps; span attributes ride along in ``args``.  Each
+        ``shard:<id>`` subtree of a sharded run is assigned its own
+        ``tid`` (with a thread-name metadata event), so the shards of a
+        parallel run render as separate lanes instead of one
+        impossibly-overlapping thread.
         """
-        events = []
-        for span, _parent, _own in self._walk():
+        events: list[dict[str, Any]] = []
+        lane_names: dict[int, str] = {}
+        next_lane = 2
+
+        def walk(span: Span, tid: int) -> None:
+            nonlocal next_lane
+            if span.name.startswith("shard:"):
+                tid = next_lane
+                next_lane += 1
+                lane_names[tid] = span.name
             events.append(
                 {
                     "name": span.name,
@@ -173,11 +189,26 @@ class Tracer:
                     "ts": round(span.start_s * 1e6, 3),
                     "dur": round(span.wall_s * 1e6, 3),
                     "pid": 1,
-                    "tid": 1,
+                    "tid": tid,
                     "args": {**span.attrs, "cpu_s": round(span.cpu_s, 9)},
                 }
             )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+            for child in span.children:
+                walk(child, tid)
+
+        for root in self.roots:
+            walk(root, 1)
+        metadata = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            }
+            for tid, name in sorted(lane_names.items())
+        ]
+        return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
 class _NullSpan(Span):

@@ -68,7 +68,16 @@ from repro.join.dataset import SpatialDataset
 from repro.join.metrics import JoinMetrics
 from repro.join.predicates import Intersects, JoinPredicate
 from repro.join.result import JoinResult, canonical_pairs
-from repro.obs import NULL_TRACER, Observability, Span, TABLE2_PHASES
+from repro.obs import (
+    NULL_EVENTS,
+    NULL_TRACER,
+    BufferedEventSink,
+    EventSink,
+    Observability,
+    Span,
+    TABLE2_PHASES,
+    phase_wall_times,
+)
 from repro.parallel.planner import ShardPlan, ShardTask, default_shard_level, plan_shards
 from repro.storage.iostats import PhaseStats
 from repro.storage.manager import StorageConfig, StorageManager
@@ -87,6 +96,7 @@ def _shard_payload(
     instrument: bool,
     params: dict[str, Any],
     mode: str = "ledger",
+    events: bool = False,
 ) -> dict[str, Any]:
     """Everything one worker needs, as a picklable dict."""
     return {
@@ -102,6 +112,7 @@ def _shard_payload(
         "instrument": instrument,
         "params": params,
         "mode": mode,
+        "events": events,
     }
 
 
@@ -176,8 +187,23 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
         # sub-join names its files input-A-<n>...): give each worker a
         # private temporary directory instead.
         config = dataclasses.replace(config, directory=None)
-    obs = Observability() if payload["instrument"] else None
+    sink = (
+        BufferedEventSink(shard_id=payload["shard_id"])
+        if payload.get("events")
+        else None
+    )
+    obs: Observability | None = None
+    if payload["instrument"]:
+        obs = Observability(events=sink)
+    elif sink is not None:
+        obs = Observability.disabled()
+        obs.events = sink
+    if sink is not None:
+        # The sink's first event timestamps the true worker start (pool
+        # queueing delay shows up as the gap after shard_dispatched).
+        sink.emit("shard_heartbeat", phase="start")
 
+    wall_t0 = time.perf_counter()
     with _fresh_name_counters():
         result = spatial_join(
             dataset_a,
@@ -190,6 +216,7 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
             mode=payload.get("mode", "ledger"),
             **payload["params"],
         )
+    shard_wall_s = time.perf_counter() - wall_t0
 
     out: dict[str, Any] = {
         "shard_id": payload["shard_id"],
@@ -198,10 +225,14 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
         "pairs": sorted(result.pairs),
         "refined": None if result.refined is None else sorted(result.refined),
         "metrics": result.metrics.to_dict(),
+        "shard_wall_s": shard_wall_s,
     }
-    if obs is not None:
+    if payload["instrument"] and obs is not None:
         out["metric_series"] = obs.metrics.as_dict()
         out["spans"] = obs.tracer.to_dicts()
+        out["phase_wall"] = phase_wall_times(obs.tracer.roots)
+    if sink is not None:
+        out["events"] = sink.to_dicts()
     return out
 
 
@@ -281,13 +312,26 @@ def _execute_tasks(
     shard_timeout_s: float | None,
     max_attempts: int,
     obs: Observability | None,
-) -> tuple[list[dict[str, Any] | None], tuple[ShardFailure, ...]]:
+    run_t0: float | None = None,
+) -> tuple[
+    list[dict[str, Any] | None], tuple[ShardFailure, ...], dict[str, float]
+]:
     """Run every shard, re-dispatching recoverable failures.
 
     Returns the per-shard results in plan order (``None`` where a shard
-    ultimately failed) plus the structured failure reports.
+    ultimately failed), the structured failure reports, and the
+    per-shard dispatch offsets (seconds after ``run_t0``, used to place
+    grafted worker span trees on the parent timeline).
+
+    Shard lifecycle events (`shard_dispatched` / `shard_retry` /
+    `shard_timed_out` / `shard_failed` / `shard_completed`) stream into
+    ``obs.events`` as they happen; a completed shard's buffered worker
+    events are folded in just before its completion event.
     """
     metrics = obs.active_metrics if obs is not None else None
+    events: EventSink = obs.events if obs is not None else NULL_EVENTS
+    if run_t0 is None:
+        run_t0 = time.perf_counter()
     count = len(payloads)
     results: list[dict[str, Any] | None] = [None] * count
     failures: dict[int, ShardFailure] = {}
@@ -296,6 +340,7 @@ def _execute_tasks(
     pending = list(range(count))
     in_process = workers == 1 or count <= 1
     pool_breaks = 0
+    dispatch_offsets: dict[str, float] = {}
     while pending:
         round_entries: list[tuple[int, dict[str, Any]]] = []
         for index in pending:
@@ -308,11 +353,31 @@ def _execute_tasks(
                     ),
                 )
             )
+            task = tasks[index]
+            # Always stamped (not only when events flow): grafted span
+            # trees need the dispatch offset to land on the parent
+            # timeline whenever the tracer is enabled.
+            dispatch_offsets[task.shard_id] = time.perf_counter() - run_t0
+            if events.enabled:
+                events.emit(
+                    "shard_dispatched",
+                    shard_id=task.shard_id,
+                    kind=task.kind,
+                    attempt=attempts[index],
+                    records=task.input_records,
+                    in_process=in_process,
+                )
         if in_process:
             round_results: dict[int, dict[str, Any]] = {}
             round_errors: dict[int, BaseException] = {}
             pool_broke = False
             for index, payload in round_entries:
+                # Sequential execution: re-stamp the dispatch offset at
+                # the moment the shard actually starts, so grafted span
+                # trees line up even without a process pool.
+                dispatch_offsets[payload["shard_id"]] = (
+                    time.perf_counter() - run_t0
+                )
                 try:
                     round_results[index] = _run_shard(payload)
                 except Exception as error:
@@ -321,19 +386,47 @@ def _execute_tasks(
             round_results, round_errors, pool_broke = _dispatch_round(
                 round_entries, min(workers, len(round_entries)), shard_timeout_s
             )
-        for index, result in round_results.items():
+        for index, result in sorted(round_results.items()):
             results[index] = result
+            if events.enabled:
+                worker_events = result.get("events")
+                if worker_events:
+                    events.extend(worker_events)
+                events.emit(
+                    "shard_completed",
+                    shard_id=result["shard_id"],
+                    kind=result["kind"],
+                    attempt=attempts[index],
+                    wall_s=result.get("shard_wall_s", 0.0),
+                    pairs=len(result["pairs"]),
+                    phase_wall=result.get("phase_wall"),
+                )
         retry_queue: list[int] = []
         degrade = False
         for index, error in sorted(round_errors.items()):
             task = tasks[index]
-            if isinstance(error, ShardTimeoutError) and metrics is not None:
-                metrics.count("parallel.shard_timeouts")
+            if isinstance(error, ShardTimeoutError):
+                if metrics is not None:
+                    metrics.count("parallel.shard_timeouts")
+                if events.enabled:
+                    events.emit(
+                        "shard_timed_out",
+                        shard_id=task.shard_id,
+                        attempt=attempts[index],
+                        timeout_s=shard_timeout_s,
+                    )
             if _retryable(error) and attempts[index] < max_attempts:
                 retry_queue.append(index)
                 if metrics is not None:
                     metrics.count(
                         "parallel.redispatches", error=type(error).__name__
+                    )
+                if events.enabled:
+                    events.emit(
+                        "shard_retry",
+                        shard_id=task.shard_id,
+                        attempt=attempts[index],
+                        error=type(error).__name__,
                     )
                 continue
             if (
@@ -349,6 +442,14 @@ def _execute_tasks(
                 grace_used[index] = True
                 degrade = True
                 retry_queue.append(index)
+                if events.enabled:
+                    events.emit(
+                        "shard_retry",
+                        shard_id=task.shard_id,
+                        attempt=attempts[index],
+                        error=type(error).__name__,
+                        grace=True,
+                    )
                 continue
             failures[index] = ShardFailure(
                 shard_id=task.shard_id,
@@ -360,6 +461,13 @@ def _execute_tasks(
             if metrics is not None:
                 metrics.count(
                     "parallel.shard_failures", error=type(error).__name__
+                )
+            if events.enabled:
+                events.emit(
+                    "shard_failed",
+                    shard_id=task.shard_id,
+                    attempts=attempts[index],
+                    error=type(error).__name__,
                 )
         if pool_broke:
             pool_breaks += 1
@@ -373,7 +481,7 @@ def _execute_tasks(
                 metrics.count("parallel.degraded")
         pending = retry_queue
     ordered_failures = tuple(failures[i] for i in sorted(failures))
-    return results, ordered_failures
+    return results, ordered_failures, dispatch_offsets
 
 
 def _merge_metrics(
@@ -448,22 +556,46 @@ def _merge_metrics(
     )
 
 
+def _shift_spans(spans: list[Span], offset: float) -> None:
+    """Move a grafted worker span subtree onto the parent timeline.
+
+    Worker span ``start_s`` values are relative to the *worker's*
+    tracer epoch (which opens at shard start); adding the shard's
+    dispatch offset expresses them on the parent tracer's timeline, so
+    exports like ``to_chrome_trace`` see one consistent clock where
+    children never begin before their parents.
+    """
+    for span in spans:
+        span.start_s += offset
+        _shift_spans(span.children, offset)
+
+
 def _graft_observability(
     obs: Observability,
     root: Span,
     shard_results: list[dict[str, Any]],
+    dispatch_offsets: dict[str, float] | None = None,
 ) -> None:
     """Attach worker span trees and metric series to the caller's obs."""
+    dispatch_offsets = dispatch_offsets or {}
     for result in shard_results:
         spans = result.get("spans")
         if spans is not None and obs.tracer.enabled:
+            start_s = root.start_s + dispatch_offsets.get(result["shard_id"], 0.0)
             shard_span = Span(
                 f"shard:{result['shard_id']}",
-                root.start_s,
+                start_s,
                 {"kind": result["kind"], "input_records": result["input_records"]},
             )
             shard_span.children = [Span.from_dict(d) for d in spans]
-            shard_span.wall_s = sum(c.wall_s for c in shard_span.children)
+            _shift_spans(shard_span.children, start_s)
+            # Cover the children: a worker's tree may start a little
+            # after dispatch (pool latency), so the shard span must end
+            # at the latest child's end, not after the summed walls.
+            shard_span.wall_s = max(
+                (c.start_s + c.wall_s for c in shard_span.children),
+                default=start_s,
+            ) - start_s
             shard_span.cpu_s = sum(c.cpu_s for c in shard_span.children)
             root.children.append(shard_span)
         series = result.get("metric_series")
@@ -543,11 +675,14 @@ def parallel_spatial_join(
         curve=params.get("curve"),
         margin=predicate.mbr_margin,
     )
-    instrument = obs is not None and obs.enabled
+    instrument = obs is not None and (
+        obs.tracer.enabled or obs.metrics.enabled
+    )
+    events: EventSink = obs.events if obs is not None else NULL_EVENTS
     payloads = [
         _shard_payload(
             task, algorithm, predicate, storage, refine, instrument, params,
-            mode=mode,
+            mode=mode, events=events.enabled,
         )
         for task in plan.tasks
     ]
@@ -561,13 +696,25 @@ def parallel_spatial_join(
         tasks=len(plan.tasks),
         self_join=self_join,
     ) as root:
-        ordered_results, failures = _execute_tasks(
+        run_t0 = time.perf_counter()
+        if events.enabled:
+            events.emit(
+                "run_started",
+                algorithm=algorithm,
+                mode=mode,
+                workers=workers,
+                shard_level=shard_level,
+                tasks=len(plan.tasks),
+                self_join=self_join,
+            )
+        ordered_results, failures, dispatch_offsets = _execute_tasks(
             payloads,
             list(plan.tasks),
             workers,
             shard_timeout_s,
             1 + shard_retries,
             obs,
+            run_t0=run_t0,
         )
         if failures and not partial_results:
             raise ShardExecutionError(failures)
@@ -595,8 +742,17 @@ def parallel_spatial_join(
             root.set(shard_failures=len(failures))
 
         if obs is not None and obs.enabled:
-            _graft_observability(obs, root, shard_results)
+            _graft_observability(obs, root, shard_results, dispatch_offsets)
         root.set(candidate_pairs=len(pairs))
+        if events.enabled:
+            events.emit(
+                "run_completed",
+                algorithm=algorithm,
+                pairs=len(pairs),
+                wall_s=time.perf_counter() - run_t0,
+                completed_shards=len(shard_results),
+                failed_shards=len(failures),
+            )
 
     return JoinResult(
         pairs=pairs,

@@ -287,3 +287,133 @@ def _iter_spans(spans):
     for span in spans:
         yield span
         yield from _iter_spans(span.children)
+
+
+class TestHistogramQuantiles:
+    def test_exact_quantiles_small_sample(self):
+        h = Histogram()
+        for value in range(1, 101):  # 1..100
+            h.observe(float(value))
+        assert h.exact_quantiles
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.95) == pytest.approx(95.05)
+        assert h.quantile(0.99) == pytest.approx(99.01)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_as_dict_carries_percentiles(self):
+        h = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            h.observe(value)
+        d = h.as_dict()
+        assert d["p50"] == pytest.approx(2.5)
+        assert d["p95"] == pytest.approx(3.85)
+        assert d["p99"] == pytest.approx(3.97)
+
+    def test_quantile_bounds_checked(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        assert Histogram().quantile(0.5) is None
+
+    def test_cap_overflow_degrades_to_bucket_interpolation(self):
+        from repro.obs.metrics import QUANTILE_SAMPLE_CAP
+
+        h = Histogram()
+        for index in range(QUANTILE_SAMPLE_CAP + 1):
+            h.observe(float(index % 100) + 1.0)
+        assert not h.exact_quantiles
+        assert h.samples is None
+        # Bucket interpolation still lands inside the observed range.
+        p50 = h.quantile(0.5)
+        assert h.min <= p50 <= h.max
+
+    def test_merge_stays_exact_under_cap(self):
+        a, b = Histogram(), Histogram()
+        for value in (1.0, 2.0):
+            a.observe(value)
+        for value in (3.0, 4.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.exact_quantiles
+        assert a.quantile(0.5) == pytest.approx(2.5)
+
+    def test_merge_past_cap_drops_samples(self):
+        from repro.obs.metrics import QUANTILE_SAMPLE_CAP
+
+        a, b = Histogram(), Histogram()
+        for _ in range(QUANTILE_SAMPLE_CAP // 2 + 1):
+            a.observe(1.0)
+            b.observe(3.0)
+        a.merge(b)
+        assert not a.exact_quantiles
+        assert a.count == 2 * (QUANTILE_SAMPLE_CAP // 2 + 1)
+
+
+class TestAtomicWrites:
+    def test_write_and_content(self, tmp_path):
+        from repro.obs.fileio import atomic_write_json
+
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"b": 2, "a": 1})
+        data = json.loads(path.read_text())
+        assert data == {"a": 1, "b": 2}
+        # No temp-file litter left beside the artifact.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_unserializable_payload_leaves_original_intact(self, tmp_path):
+        from repro.obs.fileio import atomic_write_json
+
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_crash_mid_write_leaves_original_intact(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        from repro.obs import fileio
+        from repro.obs.fileio import atomic_write_text
+
+        path = tmp_path / "artifact.json"
+        atomic_write_text(path, "original\n")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(fileio.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk gone"):
+            atomic_write_text(path, "half-written garbage")
+        monkeypatch.undo()
+        assert path.read_text() == "original\n"
+        # The failed attempt's temp file was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+        assert os_mod.path.exists(path)
+
+    def test_report_save_is_atomic(self, tmp_path, monkeypatch):
+        """RunReport.save must go through the atomic writer."""
+        dataset_a = make_squares(30, side=0.05, seed=5, name="A")
+        dataset_b = make_squares(30, side=0.05, seed=6, name="B")
+        obs = Observability()
+        outcome = run_algorithm(dataset_a, dataset_b, "s3j", obs=obs)
+        report = build_run_report(outcome.result, obs, workload="test")
+        path = tmp_path / "run.report.json"
+        report.save(str(path))
+        original = path.read_text()
+
+        from repro.obs import fileio
+
+        monkeypatch.setattr(
+            fileio.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            report.save(str(path))
+        monkeypatch.undo()
+        assert path.read_text() == original
