@@ -10,8 +10,18 @@ Runs every algorithm on one uniform workload serially and sharded with
   wall-clock only);
 - the merged ledger equals the sum of the per-shard ledgers.
 
+A second section runs a **skewed workload** (~15% large rectangles
+that cross tile boundaries) at 4 workers under both shard planners and
+records each planner's straggler picture from the event stream: the
+residual share, the record imbalance factor, and the wall-clock.  The
+two-layer planner must report residual share 0 and the same pair set
+as the legacy planner; the ratio ``legacy record imbalance / two-layer
+record imbalance`` (the *balance ratio*, a pure function of the plan,
+so portable across hosts) is the trajectory-gated metric.
+
 Emits ``BENCH_parallel_scaling.json`` with the wall-clock per
-(algorithm, worker count) so CI uploads the scaling numbers::
+(algorithm, worker count) plus the skew section so CI uploads the
+scaling numbers::
 
     python -m benchmarks.bench_parallel_scaling [--entities 20000]
 
@@ -24,18 +34,32 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import sys
 import time
 
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
 from repro.join.api import spatial_join
+from repro.join.dataset import SpatialDataset
+from repro.obs import Observability
+from repro.obs.events import EventLog
 from repro.obs.report import TABLE2_PHASES
-from repro.parallel import parallel_spatial_join
+from repro.obs.straggler import analyze_events
+from repro.parallel import PLANNERS, parallel_spatial_join
 
 from benchmarks.artifacts import write_bench_artifact
 from tests.conftest import make_squares
 
 WORKER_COUNTS = (1, 2, 4)
 NUM_ENTITIES = int(os.environ.get("REPRO_PARALLEL_N", "20000"))
+
+SKEW_ENTITIES = 400
+"""Entities per side of the skewed workload.  Fixed (not scaled by
+``--entities``) so the plan-derived balance ratio is identical on
+every host and run — that is what makes it gateable."""
+
+SKEW_WORKERS = 4
 
 
 def bench_algorithm(algorithm: str, entities: int) -> tuple[dict, list[str]]:
@@ -97,6 +121,83 @@ def bench_algorithm(algorithm: str, entities: int) -> tuple[dict, list[str]]:
     return row, failures
 
 
+def skewed_dataset(name: str, seed: int, count: int) -> SpatialDataset:
+    """~15% large rectangles (crossing level-1/2 tile lines) among
+    small squares — the workload where the legacy planner's residual
+    shard becomes the straggler."""
+    rng = random.Random(seed)
+    entities = []
+    for eid in range(count):
+        side = (
+            rng.uniform(0.3, 0.6) if eid % 7 == 0 else rng.uniform(0.005, 0.02)
+        )
+        x = rng.uniform(0.0, 1.0 - side)
+        y = rng.uniform(0.0, 1.0 - side)
+        entities.append(Entity.from_geometry(eid, Rect(x, y, x + side, y + side)))
+    return SpatialDataset(name, entities)
+
+
+def bench_skew() -> tuple[dict, list[str]]:
+    """The straggler picture per planner on the skewed workload."""
+    dataset_a = skewed_dataset("skew-A", seed=20260831, count=SKEW_ENTITIES)
+    dataset_b = skewed_dataset("skew-B", seed=20260832, count=SKEW_ENTITIES)
+
+    failures: list[str] = []
+    row: dict = {
+        "workload": "skewed",
+        "entities": 2 * SKEW_ENTITIES,
+        "workers": SKEW_WORKERS,
+        "planners": {},
+    }
+    pair_sets: dict[str, frozenset] = {}
+    for planner in PLANNERS:
+        obs = Observability(events=EventLog())
+        start = time.perf_counter()
+        result = parallel_spatial_join(
+            dataset_a,
+            dataset_b,
+            workers=SKEW_WORKERS,
+            planner=planner,
+            obs=obs,
+        )
+        elapsed = time.perf_counter() - start
+        analytics = analyze_events(obs.events.to_dicts())
+        pair_sets[planner] = result.pairs
+        row["planners"][planner] = {
+            "wall_s": elapsed,
+            "pairs": len(result.pairs),
+            "shards": analytics.shard_count,
+            "residual_share": analytics.residual_share,
+            "record_imbalance": analytics.record_imbalance_factor,
+            "imbalance_factor": analytics.imbalance_factor,
+        }
+    legacy = row["planners"]["residual"]
+    two_layer = row["planners"]["two-layer"]
+    if pair_sets["residual"] != pair_sets["two-layer"]:
+        failures.append(
+            f"skewed: planners disagree on pairs "
+            f"({len(pair_sets['residual'])} vs {len(pair_sets['two-layer'])})"
+        )
+    if two_layer["residual_share"] != 0.0:
+        failures.append(
+            f"skewed: two-layer residual share "
+            f"{two_layer['residual_share']} != 0.0"
+        )
+    if legacy["record_imbalance"] and two_layer["record_imbalance"]:
+        row["balance_ratio"] = (
+            legacy["record_imbalance"] / two_layer["record_imbalance"]
+        )
+        if row["balance_ratio"] <= 1.0:
+            failures.append(
+                f"skewed: two-layer record imbalance "
+                f"{two_layer['record_imbalance']:.2f} not better than legacy "
+                f"{legacy['record_imbalance']:.2f}"
+            )
+    else:
+        failures.append("skewed: record imbalance missing from analytics")
+    return row, failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--entities", type=int, default=NUM_ENTITIES)
@@ -119,9 +220,27 @@ def main(argv: list[str] | None = None) -> int:
             f"({row['serial_pairs_per_s']:,.0f}p/s)  {timings}"
         )
 
+    skew_row, skew_failures = bench_skew()
+    failures.extend(skew_failures)
+    planner_bits = "  ".join(
+        f"{planner}: residual={entry['residual_share'] * 100:.0f}% "
+        f"imbalance={entry['record_imbalance']:.2f} "
+        f"wall={entry['wall_s']:.2f}s"
+        for planner, entry in skew_row["planners"].items()
+    )
+    print(
+        f"skew  workers={skew_row['workers']} {planner_bits}  "
+        f"balance_ratio={skew_row.get('balance_ratio', 0.0):.2f}"
+    )
+
     path = write_bench_artifact(
         "parallel_scaling",
-        {"entities_per_side": args.entities, "worker_counts": list(WORKER_COUNTS), "rows": rows},
+        {
+            "entities_per_side": args.entities,
+            "worker_counts": list(WORKER_COUNTS),
+            "rows": rows,
+            "skew": skew_row,
+        },
     )
     if failures:
         for failure in failures:

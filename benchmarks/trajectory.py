@@ -101,6 +101,14 @@ def _fastpath_throughput(payload: dict[str, Any]) -> dict[str, float]:
     }
 
 
+def _parallel_balance(payload: dict[str, Any]) -> dict[str, float]:
+    skew = payload.get("skew") or {}
+    if "balance_ratio" not in skew:
+        return {}
+    label = f"balance_ratio[skewed@{skew.get('workers', '?')}w]"
+    return {label: float(skew["balance_ratio"])}
+
+
 GATES: dict[str, tuple[GateSpec, ...]] = {
     "fastpath": (
         GateSpec(metric="speedup", select=_fastpath_metrics),
@@ -112,6 +120,13 @@ GATES: dict[str, tuple[GateSpec, ...]] = {
             select=_fastpath_throughput,
             threshold=0.60,
         ),
+    ),
+    # Legacy-planner record imbalance over two-layer record imbalance
+    # on the fixed skewed workload.  Both sides are pure functions of
+    # the shard plan — no wall-clock — so the ratio is deterministic
+    # across hosts; any drop means the two-layer planner lost balance.
+    "parallel_scaling": (
+        GateSpec(metric="balance_ratio", select=_parallel_balance),
     ),
 }
 """Per-benchmark gate specs; benchmarks without an entry are
@@ -159,7 +174,7 @@ def make_entry(
         metrics.update(gate.select(payload))
     config = {
         key: payload[key]
-        for key in ("entities", "repeats", "min_speedup")
+        for key in ("entities", "entities_per_side", "repeats", "min_speedup")
         if key in payload
     }
     return {

@@ -13,9 +13,14 @@ visible per run:
   the standard makespan-imbalance measure (1.0 = perfectly balanced;
   with ``W`` workers, the run cannot scale past ``shards / imbalance``
   of ideal speedup);
+- the **record imbalance factor** — the same max-over-mean ratio on
+  per-shard *input records*, a wall-clock-free balance measure that is
+  deterministic across hosts and worker counts (durations wobble with
+  scheduling; record counts are a pure function of the plan);
 - the **residual share** — the residual shards' fraction of total
-  shard work, the specific straggler the two-layer partitioning item
-  on the ROADMAP exists to kill;
+  shard work, the specific straggler the two-layer shard planner
+  (:mod:`repro.parallel.planner`) kills by construction: a two-layer
+  run reports 0.0 because no residual shard exists in its plan;
 - the **critical path** — the longest shard and its per-phase wall
   breakdown, i.e. where the makespan actually went;
 - **Gantt lanes** — per-shard ``(start, duration)`` on the run's
@@ -89,7 +94,9 @@ class StragglerAnalytics:
     makespan_s: float = 0.0
     total_shard_s: float = 0.0
     imbalance_factor: float | None = None
+    record_imbalance_factor: float | None = None
     residual_share: float | None = None
+    planner: str | None = None
     critical_path: dict[str, Any] | None = None
     duration_percentiles: dict[str, float | None] = field(default_factory=dict)
     workers: int | None = None
@@ -110,7 +117,9 @@ class StragglerAnalytics:
             "makespan_s": self.makespan_s,
             "total_shard_s": self.total_shard_s,
             "imbalance_factor": self.imbalance_factor,
+            "record_imbalance_factor": self.record_imbalance_factor,
             "residual_share": self.residual_share,
+            "planner": self.planner,
             "critical_path": self.critical_path,
             "duration_percentiles": dict(self.duration_percentiles),
             "workers": self.workers,
@@ -129,7 +138,9 @@ class StragglerAnalytics:
             makespan_s=float(data.get("makespan_s", 0.0)),
             total_shard_s=float(data.get("total_shard_s", 0.0)),
             imbalance_factor=data.get("imbalance_factor"),
+            record_imbalance_factor=data.get("record_imbalance_factor"),
             residual_share=data.get("residual_share"),
+            planner=data.get("planner"),
             critical_path=data.get("critical_path"),
             duration_percentiles=dict(data.get("duration_percentiles", {})),
             workers=data.get("workers"),
@@ -167,6 +178,7 @@ def analyze_events(events: list[dict[str, Any]]) -> StragglerAnalytics:
         shard_id = event.get("shard_id")
         if kind == "run_started":
             analytics.workers = event.get("workers", analytics.workers)
+            analytics.planner = event.get("planner", analytics.planner)
         elif kind == "shard_dispatched":
             dispatched.setdefault(shard_id, event)
             attempts[shard_id] = max(
@@ -229,6 +241,15 @@ def analyze_events(events: list[dict[str, Any]]) -> StragglerAnalytics:
         analytics.total_shard_s = durations.total
         if durations.count and durations.mean > 0:
             analytics.imbalance_factor = (durations.max or 0.0) / durations.mean
+        record_counts = [
+            lane.records for lane in analytics.lanes if lane.records
+        ]
+        if record_counts:
+            mean_records = sum(record_counts) / len(record_counts)
+            if mean_records > 0:
+                analytics.record_imbalance_factor = (
+                    max(record_counts) / mean_records
+                )
         residual_s = sum(
             lane.wall_s for lane in analytics.lanes if "residual" in lane.kind
         )

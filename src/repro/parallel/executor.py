@@ -78,7 +78,14 @@ from repro.obs import (
     TABLE2_PHASES,
     phase_wall_times,
 )
-from repro.parallel.planner import ShardPlan, ShardTask, default_shard_level, plan_shards
+from repro.parallel.planner import (
+    DEFAULT_PLANNER,
+    MiniJoin,
+    ShardPlan,
+    ShardTask,
+    default_shard_level,
+    plan_join,
+)
 from repro.storage.iostats import PhaseStats
 from repro.storage.manager import StorageConfig, StorageManager
 
@@ -98,13 +105,23 @@ def _shard_payload(
     mode: str = "ledger",
     events: bool = False,
 ) -> dict[str, Any]:
-    """Everything one worker needs, as a picklable dict."""
+    """Everything one worker needs, as a picklable dict.
+
+    A two-layer tile task ships its ``mini_joins`` instead of the
+    union datasets (the class subsets partition the tile, so shipping
+    both would pickle every entity twice); the worker reconstructs the
+    per-side input counts from the subsets.
+    """
     return {
         "shard_id": task.shard_id,
         "kind": task.kind,
-        "dataset_a": task.dataset_a,
-        "dataset_b": None if task.self_join else task.dataset_b,
+        "dataset_a": None if task.mini_joins else task.dataset_a,
+        "dataset_b": (
+            None if task.mini_joins or task.self_join else task.dataset_b
+        ),
         "self_join": task.self_join,
+        "mini_joins": task.mini_joins or None,
+        "input_records": task.input_records,
         "algorithm": algorithm,
         "predicate": predicate,
         "config": config,
@@ -154,6 +171,52 @@ def _fresh_name_counters() -> Iterator[None]:
         ) = saved
 
 
+def _fold_mini_metrics(
+    metrics_list: list[JoinMetrics],
+    weights: list[int],
+    algorithm: str,
+    config: StorageConfig | None,
+) -> JoinMetrics:
+    """Fold one tile's per-mini-join ledgers into one shard ledger.
+
+    The same rules the cross-shard merge uses (per-phase
+    :class:`PhaseStats` sums, input-weighted replication factors), so
+    the final merged metrics are independent of where the fold happens
+    — and therefore of the worker count.
+    """
+    phases: dict[str, PhaseStats] = {}
+    for metrics in metrics_list:
+        for name, stats in metrics.phases.items():
+            stats.merged_into(phases.setdefault(name, PhaseStats()))
+    if metrics_list:
+        phase_names = metrics_list[0].phase_names
+        cost_model = metrics_list[0].cost_model
+    else:  # degenerate tile: planner never schedules one, but be safe
+        phase_names = TABLE2_PHASES.get(algorithm.lower(), ())
+        cost_model = (config or StorageConfig()).cost_model
+    total_weight = sum(weights)
+    if total_weight:
+        replication_a = (
+            sum(m.replication_a * w for m, w in zip(metrics_list, weights))
+            / total_weight
+        )
+        replication_b = (
+            sum(m.replication_b * w for m, w in zip(metrics_list, weights))
+            / total_weight
+        )
+    else:
+        replication_a = replication_b = 1.0
+    return JoinMetrics(
+        algorithm=algorithm,
+        phase_names=phase_names,
+        phases=phases,
+        cost_model=cost_model,
+        replication_a=replication_a,
+        replication_b=replication_b,
+        details={},
+    )
+
+
 def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
     """Execute one shard's sub-join (module-level so it pickles).
 
@@ -163,10 +226,6 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
     """
     from repro.join.api import spatial_join
 
-    dataset_a: SpatialDataset = payload["dataset_a"]
-    dataset_b: SpatialDataset = (
-        dataset_a if payload["self_join"] else payload["dataset_b"]
-    )
     config: StorageConfig | None = payload["config"]
     fault_plan = config.fault_plan if config is not None else None
     if fault_plan is not None:
@@ -203,30 +262,85 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
         # queueing delay shows up as the gap after shard_dispatched).
         sink.emit("shard_heartbeat", phase="start")
 
+    minis: tuple[MiniJoin, ...] | None = payload.get("mini_joins")
     wall_t0 = time.perf_counter()
     with _fresh_name_counters():
-        result = spatial_join(
-            dataset_a,
-            dataset_b,
-            algorithm=payload["algorithm"],
-            predicate=payload["predicate"],
-            storage=config,
-            refine=payload["refine"],
-            obs=obs,
-            mode=payload.get("mode", "ledger"),
-            **payload["params"],
-        )
+        if minis:
+            # A two-layer tile shard: run the class-pair mini-joins in
+            # plan order inside one counter scope, so file labels are a
+            # pure function of the tile's (deterministic) composition.
+            pair_set: set[tuple[int, int]] = set()
+            refined_set: set[tuple[int, int]] = set()
+            mini_metrics: list[JoinMetrics] = []
+            breakdown: list[dict[str, Any]] = []
+            for mini in minis:
+                sub_b = mini.dataset_a if mini.self_join else mini.dataset_b
+                result = spatial_join(
+                    mini.dataset_a,
+                    sub_b,
+                    algorithm=payload["algorithm"],
+                    predicate=payload["predicate"],
+                    storage=config,
+                    refine=payload["refine"],
+                    obs=obs,
+                    mode=payload.get("mode", "ledger"),
+                    **payload["params"],
+                )
+                pair_set.update(result.pairs)
+                if result.refined is not None:
+                    refined_set.update(result.refined)
+                mini_metrics.append(result.metrics)
+                breakdown.append(
+                    {
+                        "label": mini.label,
+                        "input_records": mini.input_records,
+                        "pairs": len(result.pairs),
+                    }
+                )
+            pairs = sorted(pair_set)
+            refined = sorted(refined_set) if payload["refine"] else None
+            metrics = _fold_mini_metrics(
+                mini_metrics,
+                [mini.input_records for mini in minis],
+                payload["algorithm"],
+                config,
+            )
+            metrics.details["mini_joins"] = breakdown
+            metrics_dict = metrics.to_dict()
+        else:
+            dataset_a: SpatialDataset = payload["dataset_a"]
+            dataset_b: SpatialDataset = (
+                dataset_a if payload["self_join"] else payload["dataset_b"]
+            )
+            result = spatial_join(
+                dataset_a,
+                dataset_b,
+                algorithm=payload["algorithm"],
+                predicate=payload["predicate"],
+                storage=config,
+                refine=payload["refine"],
+                obs=obs,
+                mode=payload.get("mode", "ledger"),
+                **payload["params"],
+            )
+            pairs = sorted(result.pairs)
+            refined = (
+                None if result.refined is None else sorted(result.refined)
+            )
+            metrics_dict = result.metrics.to_dict()
     shard_wall_s = time.perf_counter() - wall_t0
 
     out: dict[str, Any] = {
         "shard_id": payload["shard_id"],
         "kind": payload["kind"],
-        "input_records": len(dataset_a) + len(dataset_b),
-        "pairs": sorted(result.pairs),
-        "refined": None if result.refined is None else sorted(result.refined),
-        "metrics": result.metrics.to_dict(),
+        "input_records": payload["input_records"],
+        "pairs": pairs,
+        "refined": refined,
+        "metrics": metrics_dict,
         "shard_wall_s": shard_wall_s,
     }
+    if minis:
+        out["mini_joins"] = len(minis)
     if payload["instrument"] and obs is not None:
         out["metric_series"] = obs.metrics.as_dict()
         out["spans"] = obs.tracer.to_dicts()
@@ -342,6 +456,12 @@ def _execute_tasks(
     pool_breaks = 0
     dispatch_offsets: dict[str, float] = {}
     while pending:
+        # Dispatch largest input first (ties broken by plan order): a
+        # heavy shard planned late can no longer start last and stretch
+        # the makespan.  The order is a pure function of the plan —
+        # identical for every worker count — and results still merge in
+        # plan order, so merged metrics stay byte-identical.
+        pending.sort(key=lambda index: (-tasks[index].input_records, index))
         round_entries: list[tuple[int, dict[str, Any]]] = []
         for index in pending:
             attempts[index] += 1
@@ -541,6 +661,13 @@ def _merge_metrics(
                 "pairs": len(r["pairs"]),
                 "total_ios": m.total_ios,
                 "response_time": m.response_time,
+                # Only two-layer tile shards carry the key, so legacy
+                # reports keep their pre-two-layer shape.
+                **(
+                    {"mini_joins": r["mini_joins"]}
+                    if "mini_joins" in r
+                    else {}
+                ),
             }
             for r, m in zip(shard_results, shard_metrics)
         ],
@@ -613,6 +740,7 @@ def parallel_spatial_join(
     obs: Observability | None = None,
     workers: int = 1,
     shard_level: int | None = None,
+    planner: str = DEFAULT_PLANNER,
     mode: str = "ledger",
     shard_timeout_s: float | None = None,
     shard_retries: int = 1,
@@ -621,12 +749,15 @@ def parallel_spatial_join(
 ) -> JoinResult:
     """Run a spatial join sharded by Hilbert key range.
 
-    The inputs are routed into the ``4^shard_level`` level-``k``
-    quadrant shards plus a residual shard of large entities (see
-    :mod:`repro.parallel.planner`), the resulting independent sub-joins
-    run on ``workers`` processes (in-process when ``workers=1``), and
-    pair sets, ledgers, and observability output merge
-    deterministically — the result is identical for every worker count.
+    ``planner`` selects the decomposition (see
+    :mod:`repro.parallel.planner`): ``"two-layer"`` (default) routes
+    every entity to per-tile A/B/C/D classes and runs class-pair
+    mini-joins per tile — no residual straggler shard; ``"residual"``
+    is the legacy ``4^shard_level`` cells + residual decomposition.
+    Either way the independent sub-joins run on ``workers`` processes
+    (in-process when ``workers=1``), and pair sets, ledgers, and
+    observability output merge deterministically — the result is
+    identical for every worker count.
 
     ``storage`` must be a :class:`StorageConfig` (or ``None`` for the
     per-shard paper default): a live :class:`StorageManager` cannot be
@@ -668,12 +799,13 @@ def parallel_spatial_join(
     if shard_level is None:
         shard_level = default_shard_level(workers)
 
-    plan = plan_shards(
+    plan = plan_join(
         dataset_a,
         dataset_b,
         shard_level,
         curve=params.get("curve"),
         margin=predicate.mbr_margin,
+        planner=planner,
     )
     instrument = obs is not None and (
         obs.tracer.enabled or obs.metrics.enabled
@@ -693,6 +825,7 @@ def parallel_spatial_join(
         algorithm=algorithm,
         workers=workers,
         shard_level=shard_level,
+        planner=planner,
         tasks=len(plan.tasks),
         self_join=self_join,
     ) as root:
@@ -704,6 +837,7 @@ def parallel_spatial_join(
                 mode=mode,
                 workers=workers,
                 shard_level=shard_level,
+                planner=planner,
                 tasks=len(plan.tasks),
                 self_join=self_join,
             )

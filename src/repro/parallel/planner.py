@@ -1,26 +1,44 @@
-"""The shard planner: route entities to Hilbert-range shards.
+"""The shard planners: decompose one join into independent sub-joins.
 
-Shard level ``k`` partitions the data space into the ``4^k`` cells of
-the level-``k`` Filter-Tree grid.  Each cell is one contiguous Hilbert
-key range (the curve's prefix property), so a shard is identified by
-the top ``2k`` bits of any interior point's key.
+Two planners produce a :class:`ShardPlan`:
 
-Routing applies the same containment rule S3J's synchronized scan
-relies on:
+**``two-layer``** (the default) is the two-layer space-oriented
+partitioning of Tsitsigkos et al. (PAPERS.md, arXiv 2307.09256).  The
+space is the ``4^k`` tiles of the level-``k`` Filter-Tree grid; every
+entity is *present* in each tile its (margin-expanded) MBR overlaps,
+and within a tile it belongs to exactly one class by where its MBR
+*starts* relative to the tile:
 
-- an entity whose (margin-expanded) MBR has Filter-Tree level
-  ``l >= k`` fits wholly inside one level-``k`` cell — it is routed to
-  exactly that cell's shard (its level-``k`` ancestor), identified by
-  the top ``2k`` bits of its center's Hilbert key;
-- an entity with ``l < k`` is cut by a level-``k`` grid line — it goes
-  to the *residual* shard of large entities.
+- **A** — both the low-x and low-y corner start in this tile;
+- **B** — the MBR spills in from the west (starts in a tile with a
+  smaller x, same y row);
+- **C** — the MBR spills in from the south (same x column, smaller y);
+- **D** — it spills in from both directions (the MBR's start tile is
+  strictly south-west).
 
-No entity is ever replicated.  Entities routed to *different* cell
-shards can never form a result pair: their quantized MBRs lie in
-disjoint closed cells of the ``2^k`` grid (level quantization is
-exactly the one :class:`~repro.filtertree.levels.LevelAssigner` uses,
-so even boundary-touching MBRs quantize apart).  The full join is
-therefore the disjoint union
+Each tile shard then runs a fixed set of class-pair *mini-joins*
+instead of one monolithic join.  For a non-self join R ⋈ S the combos
+
+    AA, AB, BA, AC, CA, AD, DA, BC, CB
+
+find every intersecting pair **exactly once** across all tiles: with
+closed-interval quantization the *reference tile* of a pair — the tile
+of ``(max(xlo_r, xlo_s), max(ylo_r, ylo_s))`` — is the unique tile
+where both MBRs are present and the class combo avoids both-spill-x
+(``{B,D} x {B,D}``) and both-spill-y (``{C,D} x {C,D}``); see
+DESIGN.md section 14 for the proof.  A self join collapses the ordered
+combos to ``{AA(self), AB, AC, AD, BC}`` and the executor
+canonicalizes mirrored pairs at merge time.  No tile ever joins
+"everything", so the residual straggler shard does not exist; the
+price is replicated *references* (an entity is shipped to every tile
+it overlaps), which the plan accounts for explicitly.
+
+**``residual``** is the legacy single-assignment planner: an entity
+whose expanded MBR has Filter-Tree level ``l >= k`` fits wholly inside
+one level-``k`` cell and is routed to exactly that cell's shard; an
+entity with ``l < k`` is cut by a level-``k`` grid line and goes to
+the *residual* shard of large entities.  No entity is ever replicated,
+and the full join is the disjoint union
 
     sum over cells c:  A_c  join  B_c
     +  residual(A)     join  B            (all of B)
@@ -30,12 +48,23 @@ where the third term excludes ``residual(A)`` so residual-residual
 pairs are found exactly once.  For a self join the plan collapses to
 the per-cell self joins plus ``residual(A) join A``; the executor
 canonicalizes the mirrored pairs the residual cross join reintroduces.
+The residual terms join against whole datasets, so a skewed MBR-size
+distribution turns the residual shard into the straggler the
+``two-layer`` planner exists to kill; ``residual`` stays selectable so
+planner-to-planner parity is itself a verification gate.
+
+Both planners route on the *margin-expanded* MBR — the same box the
+join algorithms partition on — so a distance predicate's expansion can
+never move an entity across a shard boundary unseen.  Both produce
+plans that are pure functions of the inputs and ``shard_level``
+(never of the worker count), so results are reproducible across
+worker counts.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.curves.base import SpaceFillingCurve
 from repro.curves.hilbert import HilbertCurve
@@ -46,27 +75,66 @@ from repro.join.dataset import SpatialDataset
 RESIDUAL_A = "residual-A"
 RESIDUAL_B = "residual-B"
 
+PLANNERS = ("residual", "two-layer")
+"""Selectable shard planners (``plan_join``'s ``planner`` argument)."""
+
+DEFAULT_PLANNER = "two-layer"
+
+TWO_LAYER_COMBOS = (
+    ("A", "A"),
+    ("A", "B"),
+    ("B", "A"),
+    ("A", "C"),
+    ("C", "A"),
+    ("A", "D"),
+    ("D", "A"),
+    ("B", "C"),
+    ("C", "B"),
+)
+"""Ordered class combos of one tile's mini-joins (non-self join).
+
+Exactly the combos where the two MBRs do not *both* spill into the
+tile along the same axis — the pair's reference tile is then this
+tile, so every result pair is found exactly once (DESIGN.md §14).
+"""
+
+TWO_LAYER_SELF_COMBOS = (
+    ("A", "A"),
+    ("A", "B"),
+    ("A", "C"),
+    ("A", "D"),
+    ("B", "C"),
+)
+"""The self-join collapse of :data:`TWO_LAYER_COMBOS`: one unordered
+combo per mirrored ordered pair (``AA`` runs as a self join and the
+executor canonicalizes at merge)."""
+
 
 def default_shard_level(workers: int) -> int:
     """The smallest level whose ``4^k`` cells cover ``workers`` shards
-    (at least 1, so sharding is exercised even with one worker)."""
+    (at least 1, so sharding is exercised even with one worker).
+
+    Computed with integer bit arithmetic — ``ceil(log4(workers))`` via
+    floats can come out one too high on libms where ``log(64, 4)``
+    returns ``3.0000000000000004``.
+    """
     if workers < 1:
         raise ValueError("workers must be positive")
-    return max(1, math.ceil(math.log(workers, 4)))
+    # ceil(log4(w)) == ceil(bit_length(w - 1) / 2) for w >= 2.
+    return max(1, ((workers - 1).bit_length() + 1) // 2)
 
 
 @dataclass(frozen=True)
-class ShardTask:
-    """One independent sub-join of the sharded plan.
+class MiniJoin:
+    """One class-pair sub-join inside a two-layer tile shard.
 
-    ``self_join`` marks cell shards of a self join, where both sides
-    are the *same* dataset object and the sub-join must canonicalize
-    its pairs; the residual cross join of a self join is not marked
-    (its sides differ) and the executor canonicalizes at merge time.
+    ``self_join`` marks the ``AA`` mini-join of a self join, where both
+    sides are the same dataset object; the cross-class mini-joins of a
+    self join are *not* marked (their sides differ) and the executor
+    canonicalizes their mirrored pairs at merge time.
     """
 
-    shard_id: str
-    kind: str  # "cell" | "residual-A" | "residual-B"
+    label: str  # e.g. "AxB"
     dataset_a: SpatialDataset
     dataset_b: SpatialDataset
     self_join: bool = False
@@ -76,31 +144,126 @@ class ShardTask:
         return len(self.dataset_a) + len(self.dataset_b)
 
 
+@dataclass(frozen=True)
+class ShardTask:
+    """One independent sub-join of the sharded plan.
+
+    A legacy task (``mini_joins == ()``) is a single monolithic join of
+    ``dataset_a`` with ``dataset_b``.  A two-layer tile task carries
+    the tile's class-pair decomposition in ``mini_joins``; its
+    ``dataset_a``/``dataset_b`` are then the tile's full per-side
+    presence sets (each entity once), which is what the executor ships
+    and what ``input_records`` weighs.
+
+    ``self_join`` marks tasks whose two sides are the *same* dataset
+    object, where the sub-join must canonicalize its pairs; a self
+    join's residual cross join (legacy) and cross-class mini-joins
+    (two-layer) are not marked — their sides differ and the executor
+    canonicalizes at merge time.
+    """
+
+    shard_id: str
+    kind: str  # "cell" | "tile" | "residual-A" | "residual-B"
+    dataset_a: SpatialDataset
+    dataset_b: SpatialDataset
+    self_join: bool = False
+    mini_joins: tuple[MiniJoin, ...] = ()
+
+    @property
+    def input_records(self) -> int:
+        return len(self.dataset_a) + len(self.dataset_b)
+
+    def sub_joins(self) -> Iterator[MiniJoin]:
+        """The task's sub-joins, uniformly: the mini-joins of a tile
+        task, or the task itself as a single :class:`MiniJoin`."""
+        if self.mini_joins:
+            yield from self.mini_joins
+        else:
+            yield MiniJoin(
+                label=self.kind,
+                dataset_a=self.dataset_a,
+                dataset_b=self.dataset_b,
+                self_join=self.self_join,
+            )
+
+
 @dataclass
 class ShardPlan:
-    """The deterministic decomposition of one join into sub-joins."""
+    """The deterministic decomposition of one join into sub-joins.
+
+    Accounting separates three ideas (they coincided in the legacy
+    planner's happy path, which hid a reporting bug):
+
+    - ``routed_*`` — entities the router assigned somewhere (legacy:
+      to a cell bucket; two-layer: to at least one tile);
+    - ``scheduled_*`` — distinct entities that appear in at least one
+      planned task (an entity routed to a cell whose prefix exists in
+      only one dataset is routed but *not* scheduled — it provably
+      joins nothing);
+    - ``replicated_*`` — extra per-task references beyond the distinct
+      scheduled entities (two-layer presence replication; the legacy
+      residual cross joins re-shipping whole sides).
+    """
 
     shard_level: int
     tasks: list[ShardTask]
-    routed_a: int = 0  # entities of A routed to cell shards
+    planner: str = "residual"
+    routed_a: int = 0
     routed_b: int = 0
-    residual_a: int = 0  # entities of A in the residual shard
+    residual_a: int = 0  # entities of A in the residual shard (legacy)
     residual_b: int = 0
+    scheduled_a: int = 0  # distinct entities appearing in >= 1 task
+    scheduled_b: int = 0
+    replicated_a: int = 0  # task references beyond the distinct entities
+    replicated_b: int = 0
 
     @property
     def num_cells(self) -> int:
-        return sum(1 for task in self.tasks if task.kind == "cell")
+        return sum(1 for task in self.tasks if task.kind in ("cell", "tile"))
 
-    def describe(self) -> dict[str, int]:
+    @property
+    def num_mini_joins(self) -> int:
+        return sum(len(task.mini_joins) for task in self.tasks)
+
+    def describe(self) -> dict[str, int | str]:
         return {
+            "planner": self.planner,
             "shard_level": self.shard_level,
             "tasks": len(self.tasks),
             "cells": self.num_cells,
+            "mini_joins": self.num_mini_joins,
             "routed_a": self.routed_a,
             "routed_b": self.routed_b,
+            "scheduled_a": self.scheduled_a,
+            "scheduled_b": self.scheduled_b,
+            "replicated_a": self.replicated_a,
+            "replicated_b": self.replicated_b,
             "residual_a": self.residual_a,
             "residual_b": self.residual_b,
         }
+
+    def account_tasks(self) -> None:
+        """Fill ``scheduled_*``/``replicated_*`` from the task list."""
+        scheduled_a: set[int] = set()
+        scheduled_b: set[int] = set()
+        references_a = references_b = 0
+        for task in self.tasks:
+            references_a += len(task.dataset_a)
+            references_b += len(task.dataset_b)
+            scheduled_a.update(entity.eid for entity in task.dataset_a)
+            scheduled_b.update(entity.eid for entity in task.dataset_b)
+        self.scheduled_a = len(scheduled_a)
+        self.scheduled_b = len(scheduled_b)
+        self.replicated_a = references_a - self.scheduled_a
+        self.replicated_b = references_b - self.scheduled_b
+
+
+def _expanded(entity: Entity, margin: float):
+    """The box the planner routes on — the same margin-expanded MBR
+    the join algorithms partition on."""
+    if margin == 0.0:
+        return entity.mbr
+    return entity.mbr.expanded(margin).clamped()
 
 
 def _route(
@@ -110,18 +273,14 @@ def _route(
     curve: SpaceFillingCurve,
     margin: float,
 ) -> tuple[dict[int, list[Entity]], list[Entity]]:
-    """Split one dataset into cell buckets (keyed by the top ``2k``
-    Hilbert key bits) and the residual list of large entities.
-
-    Routing looks at the *margin-expanded* MBR — the same box the join
-    algorithms partition on — so a distance predicate's expansion can
-    never push an entity across a shard boundary unseen.
-    """
+    """Legacy single-assignment routing: split one dataset into cell
+    buckets (keyed by the top ``2k`` Hilbert key bits) and the residual
+    list of large entities."""
     shift = 2 * (curve.order - shard_level)
     cells: dict[int, list[Entity]] = {}
     residual: list[Entity] = []
     for entity in dataset:
-        box = entity.mbr if margin == 0.0 else entity.mbr.expanded(margin).clamped()
+        box = _expanded(entity, margin)
         if assigner.level(box) >= shard_level:
             prefix = curve.key_of_normalized(*box.center) >> shift
             cells.setdefault(prefix, []).append(entity)
@@ -137,7 +296,7 @@ def plan_shards(
     curve: SpaceFillingCurve | None = None,
     margin: float = 0.0,
 ) -> ShardPlan:
-    """Plan the sharded execution of ``dataset_a`` join ``dataset_b``.
+    """Plan with the legacy ``residual`` planner (see module docstring).
 
     The plan is a pure function of the inputs and ``shard_level`` —
     independent of how many workers later execute it — so results are
@@ -145,10 +304,7 @@ def plan_shards(
     both datasets plans a self join.
     """
     curve = curve or HilbertCurve()
-    if not 1 <= shard_level <= curve.order:
-        raise ValueError(
-            f"shard_level {shard_level} outside [1, {curve.order}]"
-        )
+    _check_level(shard_level, curve)
     assigner = LevelAssigner(order=curve.order, max_level=curve.order)
     self_join = dataset_a is dataset_b
 
@@ -158,7 +314,7 @@ def plan_shards(
     else:
         cells_b, residual_b = _route(dataset_b, shard_level, assigner, curve, margin)
 
-    width = -(-shard_level // 2)  # hex digits covering 2k bits
+    width = _prefix_width(shard_level)
     tasks: list[ShardTask] = []
     for prefix in sorted(set(cells_a) & set(cells_b)):
         sub_a = SpatialDataset(f"{dataset_a.name}/cell-{prefix:0{width}x}", cells_a[prefix])
@@ -207,11 +363,183 @@ def plan_shards(
                 )
             )
 
-    return ShardPlan(
+    plan = ShardPlan(
         shard_level=shard_level,
         tasks=tasks,
+        planner="residual",
         routed_a=sum(len(bucket) for bucket in cells_a.values()),
         routed_b=sum(len(bucket) for bucket in cells_b.values()),
         residual_a=len(residual_a),
         residual_b=len(residual_b),
     )
+    plan.account_tasks()
+    return plan
+
+
+def _two_layer_classes(
+    dataset: SpatialDataset,
+    shard_level: int,
+    curve: SpaceFillingCurve,
+    margin: float,
+) -> dict[tuple[int, int], dict[str, list[Entity]]]:
+    """Tile -> class -> entities, for one side of a two-layer plan.
+
+    Presence uses plain :meth:`~SpaceFillingCurve.quantize` for *both*
+    corners (never the closed-interval ``quantize_hi``): an MBR whose
+    high edge lies exactly on a grid line must also be present in the
+    tile above the line, because a boundary-touching partner starting
+    there makes that tile the pair's reference tile.  Over-generous
+    presence can never create duplicate pairs — a pair is emitted only
+    in its unique reference tile (DESIGN.md §14) — while under-presence
+    would lose boundary-touch pairs.
+    """
+    shift = curve.order - shard_level
+    tiles: dict[tuple[int, int], dict[str, list[Entity]]] = {}
+    for entity in dataset:
+        box = _expanded(entity, margin)
+        start_x = curve.quantize(box.xlo) >> shift
+        start_y = curve.quantize(box.ylo) >> shift
+        end_x = curve.quantize(box.xhi) >> shift
+        end_y = curve.quantize(box.yhi) >> shift
+        for tile_x in range(start_x, end_x + 1):
+            west = tile_x > start_x
+            for tile_y in range(start_y, end_y + 1):
+                south = tile_y > start_y
+                cls = ("D" if west else "C") if south else ("B" if west else "A")
+                tiles.setdefault((tile_x, tile_y), {}).setdefault(cls, []).append(
+                    entity
+                )
+    return tiles
+
+
+def plan_two_layer(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    shard_level: int,
+    curve: SpaceFillingCurve | None = None,
+    margin: float = 0.0,
+) -> ShardPlan:
+    """Plan with the ``two-layer`` class-based planner (module docstring).
+
+    One :class:`ShardTask` per occupied tile, carrying that tile's
+    class-pair mini-joins; tiles are emitted in Hilbert-prefix order
+    and named ``cell-<prefix>`` exactly like the legacy planner's cell
+    shards, so fault-injection directives address shards identically
+    under either planner.  Tiles whose mini-joins would all be empty
+    (e.g. only one side present) are not scheduled.
+    """
+    curve = curve or HilbertCurve()
+    _check_level(shard_level, curve)
+    self_join = dataset_a is dataset_b
+
+    tiles_a = _two_layer_classes(dataset_a, shard_level, curve, margin)
+    tiles_b = (
+        tiles_a
+        if self_join
+        else _two_layer_classes(dataset_b, shard_level, curve, margin)
+    )
+
+    shift = curve.order - shard_level
+    width = _prefix_width(shard_level)
+    by_prefix: dict[int, tuple[int, int]] = {
+        curve.key(tile_x << shift, tile_y << shift) >> (2 * shift): (tile_x, tile_y)
+        for tile_x, tile_y in set(tiles_a) | set(tiles_b)
+    }
+
+    combos = TWO_LAYER_SELF_COMBOS if self_join else TWO_LAYER_COMBOS
+    tasks: list[ShardTask] = []
+    for prefix in sorted(by_prefix):
+        tile = by_prefix[prefix]
+        classes_a = tiles_a.get(tile, {})
+        classes_b = classes_a if self_join else tiles_b.get(tile, {})
+        shard_id = f"cell-{prefix:0{width}x}"
+        subsets_a = {
+            cls: SpatialDataset(f"{dataset_a.name}/{shard_id}/{cls}", entities)
+            for cls, entities in classes_a.items()
+        }
+        subsets_b = (
+            subsets_a
+            if self_join
+            else {
+                cls: SpatialDataset(f"{dataset_b.name}/{shard_id}/{cls}", entities)
+                for cls, entities in classes_b.items()
+            }
+        )
+        minis: list[MiniJoin] = []
+        for class_a, class_b in combos:
+            sub_a = subsets_a.get(class_a)
+            sub_b = subsets_b.get(class_b)
+            if sub_a is None or sub_b is None:
+                continue
+            mini_self = self_join and class_a == "A" and class_b == "A"
+            minis.append(
+                MiniJoin(
+                    label=f"{class_a}x{class_b}",
+                    dataset_a=sub_a,
+                    dataset_b=sub_a if mini_self else sub_b,
+                    self_join=mini_self,
+                )
+            )
+        if not minis:
+            continue
+        union_a = SpatialDataset(
+            f"{dataset_a.name}/{shard_id}",
+            [entity for cls in "ABCD" for entity in classes_a.get(cls, ())],
+        )
+        union_b = (
+            union_a
+            if self_join
+            else SpatialDataset(
+                f"{dataset_b.name}/{shard_id}",
+                [entity for cls in "ABCD" for entity in classes_b.get(cls, ())],
+            )
+        )
+        tasks.append(
+            ShardTask(
+                shard_id=shard_id,
+                kind="tile",
+                dataset_a=union_a,
+                dataset_b=union_b,
+                self_join=self_join,
+                mini_joins=tuple(minis),
+            )
+        )
+
+    plan = ShardPlan(
+        shard_level=shard_level,
+        tasks=tasks,
+        planner="two-layer",
+        routed_a=len(dataset_a),
+        routed_b=len(dataset_b),
+    )
+    plan.account_tasks()
+    return plan
+
+
+def plan_join(
+    dataset_a: SpatialDataset,
+    dataset_b: SpatialDataset,
+    shard_level: int,
+    curve: SpaceFillingCurve | None = None,
+    margin: float = 0.0,
+    planner: str = DEFAULT_PLANNER,
+) -> ShardPlan:
+    """Plan a sharded join with the selected planner."""
+    if planner not in PLANNERS:
+        raise ValueError(
+            f"unknown planner {planner!r}; choose from {PLANNERS}"
+        )
+    plan_fn = plan_shards if planner == "residual" else plan_two_layer
+    return plan_fn(dataset_a, dataset_b, shard_level, curve=curve, margin=margin)
+
+
+def _check_level(shard_level: int, curve: SpaceFillingCurve) -> None:
+    if not 1 <= shard_level <= curve.order:
+        raise ValueError(
+            f"shard_level {shard_level} outside [1, {curve.order}]"
+        )
+
+
+def _prefix_width(shard_level: int) -> int:
+    """Hex digits covering a ``2k``-bit Hilbert prefix."""
+    return -(-shard_level // 2)

@@ -284,7 +284,8 @@ class TestCrossModeCommand:
         ) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["ok"] is True
-        assert report["runs"] == 4  # 1 workload x workers {1,2} x 2 modes
+        # 1 workload x 2 modes x (serial + 2-worker under each planner)
+        assert report["runs"] == 6
 
     def test_cross_mode_unknown_workload_exits_2(self, capsys):
         assert main(

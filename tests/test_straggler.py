@@ -126,9 +126,13 @@ class TestAnalyzeEvents:
 
 class TestIntegration:
     def test_sharded_run_populates_report_analytics(self):
+        # Pinned to the legacy planner: this checks that a plan *with*
+        # a residual shard reports a strictly-interior residual share.
         dataset_a, dataset_b = small_inputs()
         obs = Observability(events=EventLog())
-        result = parallel_spatial_join(dataset_a, dataset_b, workers=2, obs=obs)
+        result = parallel_spatial_join(
+            dataset_a, dataset_b, workers=2, planner="residual", obs=obs
+        )
         report = build_run_report(result, obs)
         assert report.events
         types = {event["type"] for event in report.events}
@@ -138,9 +142,21 @@ class TestIntegration:
         tasks = result.metrics.details["plan"]["tasks"]
         assert len(analytics["shards"]) == tasks
         assert analytics["imbalance_factor"] >= 1.0
+        assert analytics["record_imbalance_factor"] >= 1.0
         assert analytics["workers"] == 2
+        assert analytics["planner"] == "residual"
         assert 0.0 < analytics["residual_share"] < 1.0
         assert analytics["critical_path"] is not None
+
+    def test_two_layer_run_reports_zero_residual_share(self):
+        # The default planner has no residual shard by construction.
+        dataset_a, dataset_b = small_inputs()
+        obs = Observability(events=EventLog())
+        parallel_spatial_join(dataset_a, dataset_b, workers=2, obs=obs)
+        analytics = analyze_events(obs.events.to_dicts())
+        assert analytics.planner == "two-layer"
+        assert analytics.residual_share == 0.0
+        assert all("residual" not in lane.kind for lane in analytics.lanes)
 
     def test_worker_events_ship_through_result_payload(self):
         dataset_a, dataset_b = small_inputs()
