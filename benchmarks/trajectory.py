@@ -109,6 +109,12 @@ def _parallel_balance(payload: dict[str, Any]) -> dict[str, float]:
     return {label: float(skew["balance_ratio"])}
 
 
+def _service_qps(payload: dict[str, Any]) -> dict[str, float]:
+    if "service_qps" not in payload:
+        return {}
+    return {"service_qps": float(payload["service_qps"])}
+
+
 GATES: dict[str, tuple[GateSpec, ...]] = {
     "fastpath": (
         GateSpec(metric="speedup", select=_fastpath_metrics),
@@ -127,6 +133,13 @@ GATES: dict[str, tuple[GateSpec, ...]] = {
     # across hosts; any drop means the two-layer planner lost balance.
     "parallel_scaling": (
         GateSpec(metric="balance_ratio", select=_parallel_balance),
+    ),
+    # Service throughput over real TCP is host-dependent, so like the
+    # fast-path pairs/s gate it only fires on a collapse, not on a
+    # slower runner; correctness of every response is checked inside
+    # the benchmark itself.
+    "service": (
+        GateSpec(metric="service_qps", select=_service_qps, threshold=0.60),
     ),
 }
 """Per-benchmark gate specs; benchmarks without an entry are
@@ -174,7 +187,14 @@ def make_entry(
         metrics.update(gate.select(payload))
     config = {
         key: payload[key]
-        for key in ("entities", "entities_per_side", "repeats", "min_speedup")
+        for key in (
+            "entities",
+            "entities_per_side",
+            "repeats",
+            "min_speedup",
+            "clients",
+            "ops_per_client",
+        )
         if key in payload
     }
     return {

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro.cli join --algorithm s3j --workload UN1-UN2
     python -m repro.cli report run.json [--html out.html]
     python -m repro.cli table3 [--scale 0.2]
     python -m repro.cli table4 [--scale 0.2] [--only TR,CFD] [--json]
     python -m repro.cli verify [--quick] [--json]
+    python -m repro.cli serve [--entities 500] [--port 7077]
 
 `join` runs one algorithm on one of the paper's evaluation workloads
 and prints the phase breakdown; `--report PATH` additionally writes a
@@ -34,6 +35,12 @@ Fault tolerance (DESIGN.md section 11): ``join --retry-attempts`` /
 attempt to exercise recovery, and ``verify --chaos --cases N`` reruns
 the harness under N sampled fault plans asserting the
 correct/typed-failure/partial trichotomy.
+
+The long-lived service (DESIGN.md section 15): `serve` starts the
+JSON-lines TCP front-end over a resident :class:`PersistentIndex`
+(incremental inserts/deletes, background compaction, admission control,
+circuit breaker), and ``verify --service`` replays interleaved
+queries/mutations against the cold-batch oracle at every index epoch.
 """
 
 from __future__ import annotations
@@ -235,11 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
         "pair sets, all equal to the brute-force oracle",
     )
     verify.add_argument(
+        "--service",
+        action="store_true",
+        help="service mode: replay interleaved queries/inserts/deletes "
+        "through the long-lived join service and require oracle-equal "
+        "answers at every index epoch (with injected read faults)",
+    )
+    verify.add_argument(
         "--cases",
         type=_positive_int,
         default=25,
         metavar="N",
         help="number of sampled fault scenarios in chaos mode (default 25)",
+    )
+    verify.add_argument(
+        "--ops",
+        type=_positive_int,
+        default=60,
+        metavar="N",
+        help="number of replayed operations in service mode (default 60)",
     )
     verify.add_argument(
         "--workloads",
@@ -274,6 +295,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the report as JSON instead of the summary",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived join service (JSON-lines TCP)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0: pick an ephemeral port and print it)",
+    )
+    serve.add_argument(
+        "--entities",
+        type=_positive_int,
+        default=500,
+        help="size of the uniform bootstrap dataset (default 500)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="bootstrap dataset seed"
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="token-bucket admission rate in queries/second "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=8,
+        metavar="N",
+        help="concurrent query admission limit (default 8)",
+    )
+    serve.add_argument(
+        "--compaction-threshold",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="delta records that trigger background compaction "
+        "(default 256)",
     )
 
     table4 = commands.add_parser("table4", help="regenerate Table 4")
@@ -546,6 +612,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         default_executors,
         run_chaos,
         run_cross_mode,
+        run_service_verify,
         run_verify,
         transforms_by_name,
     )
@@ -564,6 +631,18 @@ def cmd_verify(args: argparse.Namespace) -> int:
             cases=cases,
             worker_counts=tuple(dict.fromkeys((1, args.workers))),
             seed=args.seed,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.service:
+        report = run_service_verify(
+            seed=args.seed,
+            ops=args.ops,
             progress=lambda message: print(message, file=sys.stderr),
         )
         if args.json:
@@ -618,6 +697,53 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived join service until interrupted."""
+    import asyncio
+
+    from repro.datagen.uniform import uniform_squares
+    from repro.service import (
+        JoinService,
+        PersistentIndex,
+        ServiceConfig,
+        ServiceServer,
+    )
+
+    try:
+        config = ServiceConfig(
+            max_inflight=args.max_inflight, rate=args.rate
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    dataset = uniform_squares(
+        args.entities, 0.04, seed=args.seed, name="SERVE"
+    )
+    index_params = {}
+    if args.compaction_threshold is not None:
+        index_params["compaction_threshold"] = args.compaction_threshold
+
+    async def run() -> None:
+        with PersistentIndex(dataset.entities, **index_params) as index:
+            server = ServiceServer(JoinService(index, config), args.host, args.port)
+            host, port = await server.start()
+            print(
+                f"serving {len(index)} entities on {host}:{port} "
+                f"(JSON-lines; ops: point window join insert delete stats)",
+                file=sys.stderr,
+            )
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; service stopped", file=sys.stderr)
+    return 0
+
+
 def cmd_table3(args: argparse.Namespace) -> int:
     """Print the regenerated Table 3."""
     rows = table3_rows(args.scale)
@@ -650,6 +776,7 @@ def main(argv: list[str] | None = None) -> int:
         "table3": cmd_table3,
         "table4": cmd_table4,
         "verify": cmd_verify,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -13,7 +13,6 @@ Typical use::
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import Any
 
@@ -36,8 +35,6 @@ _ALGORITHMS: dict[str, tuple[str, str]] = {
     "rtree": ("repro.baselines.rtree_join", "RTreeSpatialJoin"),
     "sweep": ("repro.baselines.sweep_join", "PlaneSweepJoin"),
 }
-
-_input_counter = itertools.count()
 
 DEFAULT_MEMORY_FRACTION = 0.10
 """Buffer pool sized at 10% of the combined input size, the paper's
@@ -144,6 +141,19 @@ def spatial_join(
         raise ValueError(
             f"unknown mode {mode!r}; choose from {EXECUTION_MODES}"
         )
+    # The CLI validates these, but the library entry point must too:
+    # workers=0 or a negative count would otherwise slip past the
+    # workers != 1 check below and fall into the sharded path.
+    if not isinstance(workers, int) or workers < 1:
+        raise ValueError(
+            f"workers must be an int >= 1, got {workers!r}"
+        )
+    if shard_level is not None and (
+        not isinstance(shard_level, int) or shard_level < 0
+    ):
+        raise ValueError(
+            f"shard_level must be a non-negative int or None, got {shard_level!r}"
+        )
     sharded = workers != 1 or shard_level is not None
     if planner is not None and not sharded:
         raise ValueError(
@@ -237,7 +247,10 @@ def spatial_join(
 
                 curve = params.get("curve") or HilbertCurve()
 
-            uid = next(_input_counter)
+            # Per-manager numbering: the same workload gets the same
+            # descriptor file names whether this is the process's first
+            # join or its thousandth (byte-identical reports either way).
+            uid = manager.next_sequence("input")
             with tracer.span("setup", kind="setup"):
                 input_a = dataset_a.write_descriptors(
                     manager, f"input-A-{uid}", margin=predicate.mbr_margin, curve=curve

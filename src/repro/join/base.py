@@ -9,7 +9,6 @@ refinement step happens above them (see :mod:`repro.join.api`).
 
 from __future__ import annotations
 
-import itertools
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from typing import Iterator
@@ -19,8 +18,6 @@ from repro.join.result import JoinResult, canonical_pairs
 from repro.storage.iostats import PhaseStats
 from repro.storage.manager import StorageManager
 from repro.storage.pagedfile import PagedFile
-
-_run_counter = itertools.count()
 
 
 class SpatialJoinAlgorithm(ABC):
@@ -32,7 +29,10 @@ class SpatialJoinAlgorithm(ABC):
     def __init__(self, storage: StorageManager) -> None:
         self.storage = storage
         self.obs = storage.obs
-        self._run_id = next(_run_counter)
+        # Numbered per storage manager, not per process: internal file
+        # names (and therefore ledger labels and reports) depend only on
+        # what this manager has run, never on process history.
+        self._run_id = storage.next_sequence("run")
 
     def _file_name(self, suffix: str) -> str:
         """A collision-free per-run internal file name."""

@@ -57,10 +57,25 @@ EVENT_TYPES = frozenset(
         "shard_completed",
         "shard_timed_out",
         "shard_failed",
+        "service_started",
+        "service_stopped",
+        "query_started",
+        "query_completed",
+        "query_rejected",
+        "query_failed",
+        "index_updated",
+        "compaction_started",
+        "compaction_completed",
+        "breaker_opened",
+        "breaker_closed",
     }
 )
 """Every event type the schema admits.  ``shard_*`` events describe the
-parallel executor's shard lifecycle; ``run_*`` bracket a whole join."""
+parallel executor's shard lifecycle; ``run_*`` bracket a whole join;
+``service_*``/``query_*``/``index_updated``/``compaction_*``/
+``breaker_*`` describe the long-lived join service (DESIGN.md
+section 15).  Analytics ignore types they do not model, so service
+streams flow through the same log, report, and renderer unchanged."""
 
 HEARTBEAT_INTERVAL_S = 0.25
 """Minimum spacing of ``shard_heartbeat`` events: :meth:`EventSink.

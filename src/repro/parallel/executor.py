@@ -49,14 +49,12 @@ or — with ``partial_results=True`` — come back as structured
 from __future__ import annotations
 
 import dataclasses
-import itertools
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any
 
 from repro.faults.errors import (
     ShardExecutionError,
@@ -131,44 +129,6 @@ def _shard_payload(
         "mode": mode,
         "events": events,
     }
-
-
-@contextmanager
-def _fresh_name_counters() -> Iterator[None]:
-    """Give one shard's sub-join pristine file-label counters.
-
-    Internal file names embed process-global counters
-    (``join.api._input_counter``, ``join.base._run_counter``, the
-    external sorter's ids).  A reused pool process runs its second shard
-    with advanced counters, so metric labels like
-    ``records{file=s3j-1-A-L3}`` become scheduling-dependent and two
-    otherwise-identical runs can serialize differently.  Resetting the
-    counters around each shard makes every shard label its files as the
-    first join of a fresh process would — regardless of worker count or
-    which process the shard landed on.  The originals are restored so
-    the in-process (``workers=1``) path leaves the caller's interpreter
-    exactly as it found it.
-    """
-    import repro.join.api as join_api
-    import repro.join.base as join_base
-    import repro.sorting.external_sort as external_sort
-
-    saved = (
-        join_api._input_counter,
-        join_base._run_counter,
-        external_sort._SORTER_IDS,
-    )
-    join_api._input_counter = itertools.count()
-    join_base._run_counter = itertools.count()
-    external_sort._SORTER_IDS = itertools.count()
-    try:
-        yield
-    finally:
-        (
-            join_api._input_counter,
-            join_base._run_counter,
-            external_sort._SORTER_IDS,
-        ) = saved
 
 
 def _fold_mini_metrics(
@@ -264,57 +224,23 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
 
     minis: tuple[MiniJoin, ...] | None = payload.get("mini_joins")
     wall_t0 = time.perf_counter()
-    with _fresh_name_counters():
-        if minis:
-            # A two-layer tile shard: run the class-pair mini-joins in
-            # plan order inside one counter scope, so file labels are a
-            # pure function of the tile's (deterministic) composition.
-            pair_set: set[tuple[int, int]] = set()
-            refined_set: set[tuple[int, int]] = set()
-            mini_metrics: list[JoinMetrics] = []
-            breakdown: list[dict[str, Any]] = []
-            for mini in minis:
-                sub_b = mini.dataset_a if mini.self_join else mini.dataset_b
-                result = spatial_join(
-                    mini.dataset_a,
-                    sub_b,
-                    algorithm=payload["algorithm"],
-                    predicate=payload["predicate"],
-                    storage=config,
-                    refine=payload["refine"],
-                    obs=obs,
-                    mode=payload.get("mode", "ledger"),
-                    **payload["params"],
-                )
-                pair_set.update(result.pairs)
-                if result.refined is not None:
-                    refined_set.update(result.refined)
-                mini_metrics.append(result.metrics)
-                breakdown.append(
-                    {
-                        "label": mini.label,
-                        "input_records": mini.input_records,
-                        "pairs": len(result.pairs),
-                    }
-                )
-            pairs = sorted(pair_set)
-            refined = sorted(refined_set) if payload["refine"] else None
-            metrics = _fold_mini_metrics(
-                mini_metrics,
-                [mini.input_records for mini in minis],
-                payload["algorithm"],
-                config,
-            )
-            metrics.details["mini_joins"] = breakdown
-            metrics_dict = metrics.to_dict()
-        else:
-            dataset_a: SpatialDataset = payload["dataset_a"]
-            dataset_b: SpatialDataset = (
-                dataset_a if payload["self_join"] else payload["dataset_b"]
-            )
+    # File-name counters are scoped per storage manager, and every
+    # sub-join here builds a fresh manager from ``config`` — so file
+    # labels are a pure function of the shard's (deterministic)
+    # composition, regardless of worker count or which pool process the
+    # shard landed on.
+    if minis:
+        # A two-layer tile shard: run the class-pair mini-joins in
+        # plan order.
+        pair_set: set[tuple[int, int]] = set()
+        refined_set: set[tuple[int, int]] = set()
+        mini_metrics: list[JoinMetrics] = []
+        breakdown: list[dict[str, Any]] = []
+        for mini in minis:
+            sub_b = mini.dataset_a if mini.self_join else mini.dataset_b
             result = spatial_join(
-                dataset_a,
-                dataset_b,
+                mini.dataset_a,
+                sub_b,
                 algorithm=payload["algorithm"],
                 predicate=payload["predicate"],
                 storage=config,
@@ -323,11 +249,48 @@ def _run_shard(payload: dict[str, Any]) -> dict[str, Any]:
                 mode=payload.get("mode", "ledger"),
                 **payload["params"],
             )
-            pairs = sorted(result.pairs)
-            refined = (
-                None if result.refined is None else sorted(result.refined)
+            pair_set.update(result.pairs)
+            if result.refined is not None:
+                refined_set.update(result.refined)
+            mini_metrics.append(result.metrics)
+            breakdown.append(
+                {
+                    "label": mini.label,
+                    "input_records": mini.input_records,
+                    "pairs": len(result.pairs),
+                }
             )
-            metrics_dict = result.metrics.to_dict()
+        pairs = sorted(pair_set)
+        refined = sorted(refined_set) if payload["refine"] else None
+        metrics = _fold_mini_metrics(
+            mini_metrics,
+            [mini.input_records for mini in minis],
+            payload["algorithm"],
+            config,
+        )
+        metrics.details["mini_joins"] = breakdown
+        metrics_dict = metrics.to_dict()
+    else:
+        dataset_a: SpatialDataset = payload["dataset_a"]
+        dataset_b: SpatialDataset = (
+            dataset_a if payload["self_join"] else payload["dataset_b"]
+        )
+        result = spatial_join(
+            dataset_a,
+            dataset_b,
+            algorithm=payload["algorithm"],
+            predicate=payload["predicate"],
+            storage=config,
+            refine=payload["refine"],
+            obs=obs,
+            mode=payload.get("mode", "ledger"),
+            **payload["params"],
+        )
+        pairs = sorted(result.pairs)
+        refined = (
+            None if result.refined is None else sorted(result.refined)
+        )
+        metrics_dict = result.metrics.to_dict()
     shard_wall_s = time.perf_counter() - wall_t0
 
     out: dict[str, Any] = {

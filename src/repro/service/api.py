@@ -1,0 +1,546 @@
+"""The asyncio query front-end of the join service.
+
+Four defensive layers sit between a request and the index, each one a
+standard serving-system idiom in pure python:
+
+- **Admission control** — a bounded in-flight semaphore: at most
+  ``max_inflight`` queries execute concurrently, the rest queue.
+- **Token-bucket rate limiting** — ``rate`` queries/second with a
+  ``burst`` allowance; a query arriving to an empty bucket is rejected
+  up front (``status="rejected"``) without touching the index.
+- **A circuit breaker** — repeated query failures (the PR 5 fault
+  taxonomy: injected storage faults surface as typed
+  :class:`~repro.faults.errors.FaultError`) trip it open; while open
+  the service does not touch the failing storage at all and serves
+  **declared-partial** results — an empty pair set carrying a
+  :class:`~repro.faults.errors.ShardFailure` that names the open
+  breaker, never a silent wrong answer.  After ``reset_s`` one probe is
+  let through (half-open); success closes the breaker.
+- **An LRU result cache** keyed on ``(query, index epoch)`` — any
+  insert, delete, *or compaction* advances the epoch, so a stale entry
+  can never be served; entries are only reused while the live set and
+  its backing files are exactly those the entry was computed against.
+
+Queries execute inline on the event loop (the index is single-writer
+and the scans are simulated-I/O bound); mutations and compaction
+serialize behind one lock.  Everything observable flows through the
+session's :mod:`repro.obs` registry and event log, so ``repro report``
+renders a service run exactly like a batch join run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.faults.errors import FaultError, ShardFailure
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.result import Pair
+from repro.service.index import PersistentIndex
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning of one :class:`JoinService` instance."""
+
+    max_inflight: int = 8
+    rate: float | None = None  # queries/second; None = unlimited
+    burst: int = 16
+    cache_size: int = 128
+    breaker_threshold: int = 3  # consecutive failures that trip it
+    breaker_reset_s: float = 0.05  # open -> half-open probe delay
+    compaction_interval_s: float = 0.01  # background compactor poll
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_reset_s < 0 or self.compaction_interval_s < 0:
+            raise ValueError("intervals must be non-negative")
+
+
+class TokenBucket:
+    """The classic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    ``try_acquire`` is non-blocking — the service rejects rather than
+    delays, so an overloaded client sees back-pressure immediately.
+    A ``rate`` of ``None`` disables limiting (always admits).
+    """
+
+    def __init__(
+        self, rate: float | None, burst: int, clock: Clock = time.monotonic
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        if self.rate is None:
+            return True
+        now = self._clock()
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trips open after ``threshold`` consecutive failures.
+
+    While open, :meth:`allow` is False — callers serve declared-partial
+    results without touching the protected resource.  After ``reset_s``
+    the breaker goes half-open: exactly one probe is admitted; its
+    success closes the breaker, its failure re-opens it (and restarts
+    the reset clock).
+    """
+
+    def __init__(
+        self, threshold: int, reset_s: float, clock: Clock = time.monotonic
+    ) -> None:
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.opened_count = 0
+
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """Whether a request may touch the protected resource now."""
+        self._maybe_half_open()
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True  # one probe at a time
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this call opened it."""
+        self._maybe_half_open()
+        self._consecutive_failures += 1
+        tripped = (
+            self._state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.threshold
+        )
+        if tripped and self._state is not BreakerState.OPEN:
+            self._state = BreakerState.OPEN
+            self._opened_at = self._clock()
+            self._probe_inflight = False
+            self.opened_count += 1
+            return True
+        if tripped:
+            self._opened_at = self._clock()
+        return False
+
+
+class ResultCache:
+    """A plain LRU cache; keys carry the index epoch, so invalidation
+    is structural — an epoch advance orphans every older entry and the
+    LRU evicts them as capacity demands."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._entries: dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Any | None:
+        try:
+            value = self._entries.pop(key)
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries[key] = value  # re-insertion = most recent
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.pop(next(iter(self._entries)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class QueryOutcome:
+    """What one query returned, JSON-ready.
+
+    ``status`` is the service's trichotomy: ``"ok"`` (correct),
+    ``"failed"`` (loud: a typed error, named in ``error``),
+    ``"partial"`` (declared: ``failures`` says why the result is
+    incomplete — only ever emitted with the breaker open), or
+    ``"rejected"`` (admission: the query never executed).
+    """
+
+    op: str
+    status: str
+    epoch: int
+    eids: tuple[int, ...] | None = None
+    pairs: frozenset[Pair] | None = None
+    failures: tuple[ShardFailure, ...] = ()
+    cached: bool = False
+    error: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "status": self.status,
+            "epoch": self.epoch,
+            "eids": list(self.eids) if self.eids is not None else None,
+            "pairs": (
+                sorted(list(pair) for pair in self.pairs)
+                if self.pairs is not None
+                else None
+            ),
+            "failures": [failure.to_dict() for failure in self.failures],
+            "cached": self.cached,
+            "error": self.error,
+        }
+
+
+class JoinService:
+    """The long-lived query front-end over one :class:`PersistentIndex`."""
+
+    def __init__(
+        self,
+        index: PersistentIndex,
+        config: ServiceConfig | None = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.index = index
+        self.config = config or ServiceConfig()
+        self.obs = index.obs
+        self.bucket = TokenBucket(self.config.rate, self.config.burst, clock)
+        self.breaker = CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_reset_s, clock
+        )
+        self.cache = ResultCache(self.config.cache_size)
+        self._inflight = asyncio.Semaphore(self.config.max_inflight)
+        self._mutate = asyncio.Lock()
+        self._compactor: asyncio.Task[None] | None = None
+        self._delta_grew = asyncio.Event()
+        self.queries = 0
+        self.rejected = 0
+        self.failed = 0
+        self.partial = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Emit the start event and launch the background compactor."""
+        events = self.obs.events
+        if events.enabled:
+            events.emit(
+                "service_started",
+                entities=len(self.index),
+                epoch=self.index.epoch,
+            )
+        if self._compactor is None:
+            self._compactor = asyncio.create_task(self._compaction_loop())
+
+    async def stop(self) -> None:
+        """Stop the compactor and emit the stop event (index stays open)."""
+        if self._compactor is not None:
+            self._compactor.cancel()
+            try:
+                await self._compactor
+            except asyncio.CancelledError:
+                pass
+            self._compactor = None
+        events = self.obs.events
+        if events.enabled:
+            events.emit(
+                "service_stopped",
+                queries=self.queries,
+                epoch=self.index.epoch,
+                compactions=self.index.compactions,
+            )
+
+    async def __aenter__(self) -> JoinService:
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- mutations -------------------------------------------------------
+
+    async def insert(self, entity: Entity) -> int:
+        """Insert one entity; returns the new epoch."""
+        async with self._mutate:
+            epoch = self.index.insert(entity)
+        self._note_mutation("insert", entity.eid, epoch)
+        return epoch
+
+    async def delete(self, eid: int) -> int:
+        """Delete one live entity; returns the new epoch."""
+        async with self._mutate:
+            epoch = self.index.delete(eid)
+        self._note_mutation("delete", eid, epoch)
+        return epoch
+
+    def _note_mutation(self, op: str, eid: int, epoch: int) -> None:
+        events = self.obs.events
+        if events.enabled:
+            events.emit("index_updated", op=op, eid=eid, epoch=epoch)
+        metrics = self.obs.active_metrics
+        if metrics is not None:
+            metrics.count("service.mutations", op=op)
+        if self.index.needs_compaction:
+            self._delta_grew.set()
+
+    async def compact(self) -> bool:
+        """Run one compaction now (also what the background loop calls)."""
+        async with self._mutate:
+            events = self.obs.events
+            pending = self.index.delta_records
+            if pending == 0:
+                return False
+            if events.enabled:
+                events.emit(
+                    "compaction_started",
+                    delta_records=pending,
+                    epoch=self.index.epoch,
+                )
+            compacted = self.index.compact()
+            if events.enabled:
+                events.emit(
+                    "compaction_completed",
+                    epoch=self.index.epoch,
+                    compactions=self.index.compactions,
+                )
+            metrics = self.obs.active_metrics
+            if metrics is not None:
+                metrics.count("service.compactions")
+            return compacted
+
+    async def _compaction_loop(self) -> None:
+        """Background compactor: wake on delta growth (or the poll
+        interval) and fold the delta once it crosses the threshold."""
+        while True:
+            try:
+                await asyncio.wait_for(
+                    self._delta_grew.wait(), self.config.compaction_interval_s
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._delta_grew.clear()
+            if self.index.needs_compaction:
+                await self.compact()
+
+    # -- queries ---------------------------------------------------------
+
+    async def point(self, x: float, y: float) -> QueryOutcome:
+        return await self._query("point", ("point", x, y))
+
+    async def window(
+        self, xlo: float, ylo: float, xhi: float, yhi: float
+    ) -> QueryOutcome:
+        return await self._query("window", ("window", xlo, ylo, xhi, yhi))
+
+    async def join(self) -> QueryOutcome:
+        return await self._query("join", ("join",))
+
+    async def _query(self, op: str, key: tuple[Any, ...]) -> QueryOutcome:
+        self.queries += 1
+        events = self.obs.events
+        metrics = self.obs.active_metrics
+        if not self.bucket.try_acquire():
+            self.rejected += 1
+            if events.enabled:
+                events.emit("query_rejected", op=op, reason="rate_limited")
+            if metrics is not None:
+                metrics.count("service.queries", op=op, status="rejected")
+            return QueryOutcome(
+                op=op,
+                status="rejected",
+                epoch=self.index.epoch,
+                error="rate limited",
+            )
+        async with self._inflight:
+            if events.enabled:
+                events.emit("query_started", op=op, epoch=self.index.epoch)
+            # Mutations serialize with queries so every query sees one
+            # consistent (live set, epoch) snapshot.
+            async with self._mutate:
+                outcome = self._execute(op, key)
+        if events.enabled:
+            if outcome.status == "failed":
+                events.emit("query_failed", op=op, error=outcome.error)
+            else:
+                events.emit(
+                    "query_completed",
+                    op=op,
+                    status=outcome.status,
+                    epoch=outcome.epoch,
+                    cached=outcome.cached,
+                )
+        if metrics is not None:
+            metrics.count("service.queries", op=op, status=outcome.status)
+        return outcome
+
+    def _execute(self, op: str, key: tuple[Any, ...]) -> QueryOutcome:
+        """The synchronous query core: cache -> breaker -> index."""
+        epoch = self.index.epoch
+        cached = self.cache.get((key, epoch))
+        if cached is not None:
+            return QueryOutcome(
+                op=op,
+                status=cached.status,
+                epoch=epoch,
+                eids=cached.eids,
+                pairs=cached.pairs,
+                failures=cached.failures,
+                cached=True,
+            )
+        if not self.breaker.allow():
+            self.partial += 1
+            return QueryOutcome(
+                op=op,
+                status="partial",
+                epoch=epoch,
+                eids=() if op in ("point", "window") else None,
+                pairs=frozenset() if op == "join" else None,
+                failures=(
+                    ShardFailure(
+                        shard_id="service",
+                        kind="breaker",
+                        error_type="CircuitOpen",
+                        message=(
+                            "circuit breaker open after repeated query "
+                            "failures; declared-partial result"
+                        ),
+                        attempts=0,
+                    ),
+                ),
+            )
+        try:
+            if op == "point":
+                outcome = QueryOutcome(
+                    op=op,
+                    status="ok",
+                    epoch=epoch,
+                    eids=self.index.point_query(key[1], key[2]),
+                )
+            elif op == "window":
+                outcome = QueryOutcome(
+                    op=op,
+                    status="ok",
+                    epoch=epoch,
+                    eids=self.index.window_query(Rect(*key[1:])),
+                )
+            elif op == "join":
+                outcome = QueryOutcome(
+                    op=op,
+                    status="ok",
+                    epoch=epoch,
+                    pairs=self.index.self_join(),
+                )
+            else:
+                raise ValueError(f"unknown query op {op!r}")
+        except FaultError as error:
+            self.failed += 1
+            opened = self.breaker.record_failure()
+            if opened:
+                events = self.obs.events
+                if events.enabled:
+                    events.emit(
+                        "breaker_opened",
+                        failures=self.breaker.consecutive_failures,
+                    )
+            return QueryOutcome(
+                op=op,
+                status="failed",
+                epoch=epoch,
+                error=f"{type(error).__name__}: {error}",
+            )
+        was_recovering = self.breaker.state is not BreakerState.CLOSED
+        self.breaker.record_success()
+        if was_recovering:
+            events = self.obs.events
+            if events.enabled:
+                events.emit("breaker_closed")
+        self.cache.put((key, epoch), outcome)
+        return outcome
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-ready service snapshot (the ``stats`` server op)."""
+        return {
+            "entities": len(self.index),
+            "epoch": self.index.epoch,
+            "delta_records": self.index.delta_records,
+            "compactions": self.index.compactions,
+            "queries": self.queries,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "partial": self.partial,
+            "cache": {
+                "size": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            },
+            "breaker": {
+                "state": self.breaker.state.value,
+                "opened_count": self.breaker.opened_count,
+            },
+        }

@@ -1,0 +1,301 @@
+"""The resident S3J index: level files + delta + tombstones + epoch.
+
+A level file is just a Hilbert-sorted run (PAPER.md section 3), so the
+LSM idiom applies directly: the **base** is the partitioned + sorted
+level files kept open across queries in one long-lived storage
+manager; incremental ``insert``/``delete`` land in a small in-memory
+**delta** (one sorted buffer per level, deletes of base entities as
+tombstones) merged into every query's view; ``compact`` folds the delta
+back into the level files (write-new + atomic rename, the external
+sorter's temp-file discipline) once it grows past a threshold.
+
+Every mutation *and* every compaction bumps the **epoch**.  The epoch
+is the index's only cache key ingredient besides the query itself: a
+result cached at epoch ``e`` is valid exactly as long as the live set
+is the one ``e`` named — compaction changes no live entity but does
+change which files back them, so it too must (and does) advance the
+epoch rather than silently re-using entries computed against dropped
+files.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Iterable, Iterator
+
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.filtertree.levels import DEFAULT_MAX_LEVEL, LevelAssigner
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.dataset import SpatialDataset
+from repro.join.result import Pair, canonical_pairs
+from repro.obs import Observability
+from repro.service.scan import DEFAULT_CHUNK_RECORDS, live_self_scan
+from repro.storage.backend import Record
+from repro.storage.manager import StorageConfig, StorageManager
+from repro.storage.pagedfile import PagedFile
+from repro.storage.records import EID, HKEY, XHI, XLO, YHI, YLO
+
+DEFAULT_COMPACTION_THRESHOLD = 256
+"""Delta records (inserts + tombstones) that trigger compaction."""
+
+
+def _sort_key(record: Record) -> tuple[int, int]:
+    """Level files are Hilbert-sorted; eid breaks ties deterministically."""
+    return (record[HKEY], record[EID])
+
+
+class PersistentIndex:
+    """One resident spatial-join index over a long-lived storage manager.
+
+    Synchronous and single-writer by design: the service front-end
+    (:class:`repro.service.api.JoinService`) serializes mutations and
+    compaction around queries.  All query I/O against the base level
+    files is charged to the manager's simulated ledger under the
+    ``query`` / ``compaction`` phases, so ``repro report`` renders a
+    service run with the same machinery as a batch join.
+    """
+
+    def __init__(
+        self,
+        entities: Iterable[Entity] = (),
+        storage: StorageConfig | None = None,
+        obs: Observability | None = None,
+        curve: SpaceFillingCurve | None = None,
+        max_level: int = DEFAULT_MAX_LEVEL,
+        compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
+        chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        name: str = "idx",
+    ) -> None:
+        if compaction_threshold < 1:
+            raise ValueError("compaction_threshold must be positive")
+        self.curve = curve or HilbertCurve()
+        self.assigner = LevelAssigner(
+            order=self.curve.order, max_level=min(max_level, self.curve.order)
+        )
+        self.storage = StorageManager(storage or StorageConfig(), obs=obs)
+        self.obs = self.storage.obs
+        self.name = name
+        self.compaction_threshold = compaction_threshold
+        self.chunk_records = chunk_records
+        self.epoch = 0
+        self.compactions = 0
+        self._base: dict[int, PagedFile] = {}
+        self._delta: dict[int, list[Record]] = {}
+        self._tombstones: dict[int, set[int]] = {}  # level -> base eids
+        self._live: dict[int, tuple[int, Entity]] = {}  # eid -> (level, entity)
+        self._bulk_load(list(entities))
+
+    # -- construction ----------------------------------------------------
+
+    def _describe(self, entity: Entity) -> tuple[int, Record]:
+        box = entity.mbr
+        level = self.assigner.level(box)
+        hilbert = self.curve.key_of_normalized(*box.center)
+        record = (entity.eid, box.xlo, box.ylo, box.xhi, box.yhi, hilbert)
+        return level, record
+
+    def _bulk_load(self, entities: list[Entity]) -> None:
+        by_level: dict[int, list[Record]] = {}
+        for entity in entities:
+            if entity.eid in self._live:
+                raise ValueError(f"duplicate entity id {entity.eid}")
+            level, record = self._describe(entity)
+            by_level.setdefault(level, []).append(record)
+            self._live[entity.eid] = (level, entity)
+        with self.storage.stats.phase("load"):
+            for level, records in sorted(by_level.items()):
+                records.sort(key=_sort_key)
+                handle = self.storage.create_file(self._level_name(level))
+                handle.append_many(records)
+                handle.flush()
+                self._base[level] = handle
+
+    def _level_name(self, level: int) -> str:
+        return f"{self.name}-L{level}"
+
+    # -- the live view ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, eid: int) -> bool:
+        return eid in self._live
+
+    @property
+    def delta_records(self) -> int:
+        """Pending delta size: buffered inserts plus tombstones."""
+        return sum(len(buf) for buf in self._delta.values()) + sum(
+            len(dead) for dead in self._tombstones.values()
+        )
+
+    @property
+    def needs_compaction(self) -> bool:
+        return self.delta_records >= self.compaction_threshold
+
+    def levels(self) -> list[int]:
+        """Levels with any live or pending data, sorted."""
+        return sorted(set(self._base) | set(self._delta))
+
+    def level_records(self, level: int) -> Iterator[Record]:
+        """The live records of one level in Hilbert order: the base
+        level file merged with the delta buffer, minus tombstones.
+        Base pages are read through the buffer pool, so the simulated
+        ledger prices every query's base I/O."""
+        handle = self._base.get(level)
+        base: Iterable[Record] = handle.scan() if handle is not None else ()
+        delta = self._delta.get(level, ())
+        dead = self._tombstones.get(level)
+        merged = heapq.merge(base, delta, key=_sort_key)
+        if not dead:
+            return iter(merged)
+        return (record for record in merged if record[EID] not in dead)
+
+    def live_entities(self) -> list[Entity]:
+        """The live entity set (insertion-independent order: by eid)."""
+        return [entity for _, (_, entity) in sorted(self._live.items())]
+
+    def snapshot_dataset(self, name: str = "live") -> SpatialDataset:
+        """The live set as a :class:`SpatialDataset` — the input the
+        cold-batch oracle joins (verify/service.py)."""
+        return SpatialDataset(name, self.live_entities())
+
+    # -- mutations -------------------------------------------------------
+
+    def insert(self, entity: Entity) -> int:
+        """Add one entity to the live set; returns the new epoch."""
+        if entity.eid in self._live:
+            raise ValueError(f"entity id {entity.eid} is already live")
+        level, record = self._describe(entity)
+        insort(self._delta.setdefault(level, []), record, key=_sort_key)
+        self._live[entity.eid] = (level, entity)
+        self.epoch += 1
+        return self.epoch
+
+    def delete(self, eid: int) -> int:
+        """Remove one live entity; returns the new epoch.
+
+        An entity still sitting in the delta is removed outright; an
+        entity already in a base level file gets a tombstone that the
+        merge applies until the next compaction folds it in.
+        """
+        try:
+            level, _ = self._live.pop(eid)
+        except KeyError:
+            raise KeyError(f"no live entity with id {eid}") from None
+        buffer = self._delta.get(level)
+        if buffer is not None:
+            for position, record in enumerate(buffer):
+                if record[EID] == eid:
+                    del buffer[position]
+                    if not buffer:
+                        del self._delta[level]
+                    break
+            else:
+                self._tombstones.setdefault(level, set()).add(eid)
+        else:
+            self._tombstones.setdefault(level, set()).add(eid)
+        self.epoch += 1
+        return self.epoch
+
+    # -- compaction ------------------------------------------------------
+
+    def compact(self) -> bool:
+        """Fold the delta and tombstones into the base level files.
+
+        Write-new + atomic rename per affected level (the external
+        sorter's temp-file discipline: the replacement is complete
+        before it takes the base name, and the temp file is dropped on
+        any failure).  Returns whether anything was folded; when it
+        was, the epoch advances so cached results keyed on the old
+        epoch can never be served against the new file set.
+        """
+        affected = sorted(set(self._delta) | set(self._tombstones))
+        if not affected:
+            return False
+        with self.storage.stats.phase("compaction"):
+            self.storage.phase_boundary()
+            for level in affected:
+                records = list(self.level_records(level))
+                temp_name = f"{self._level_name(level)}-compact"
+                temp = self.storage.create_file(temp_name)
+                try:
+                    temp.append_many(records)
+                    temp.flush()
+                    if records:
+                        self.storage.rename_file(
+                            temp_name, self._level_name(level), replace=True
+                        )
+                        self._base[level] = temp
+                    else:
+                        self.storage.drop_file(temp_name)
+                        if level in self._base:
+                            self.storage.drop_file(self._level_name(level))
+                            del self._base[level]
+                except BaseException:
+                    if temp_name in self.storage.list_files():
+                        self.storage.drop_file(temp_name)
+                    raise
+                self._delta.pop(level, None)
+                self._tombstones.pop(level, None)
+        self.compactions += 1
+        self.epoch += 1
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def point_query(self, x: float, y: float) -> tuple[int, ...]:
+        """Ids of live entities whose MBR contains the point, sorted."""
+        return self.window_query(Rect.point(x, y))
+
+    def window_query(self, window: Rect) -> tuple[int, ...]:
+        """Ids of live entities whose MBR intersects the window, sorted.
+
+        A linear merge-scan of every level's live stream (closed-
+        interval semantics, same as the sweep) — correctness-first; the
+        base pages it touches are priced by the ledger like any scan.
+        """
+        hits: list[int] = []
+        with self.storage.stats.phase("query"):
+            self.storage.phase_boundary()
+            for level in self.levels():
+                for record in self.level_records(level):
+                    if (
+                        record[XLO] <= window.xhi
+                        and window.xlo <= record[XHI]
+                        and record[YLO] <= window.yhi
+                        and window.ylo <= record[YHI]
+                    ):
+                        hits.append(record[EID])
+        return tuple(sorted(hits))
+
+    def self_join(self) -> frozenset[Pair]:
+        """All intersecting live pairs — the synchronized self-scan over
+        the live per-level streams, canonicalized like a batch self
+        join (``(min, max)``, no ``(e, e)``)."""
+        raw: set[Pair] = set()
+        with self.storage.stats.phase("query"):
+            self.storage.phase_boundary()
+            live_self_scan(
+                {level: self.level_records(level) for level in self.levels()},
+                self.curve.order,
+                lambda a, b: raw.add((a[EID], b[EID])),
+                chunk_records=self.chunk_records,
+                stats=self.storage.stats,
+                metrics=self.obs.active_metrics,
+            )
+        return canonical_pairs(raw, self_join=True)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the storage manager (idempotent)."""
+        self.storage.close()
+
+    def __enter__(self) -> PersistentIndex:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,133 @@
+"""The JSON-lines TCP server fronting one :class:`JoinService`.
+
+Protocol: one JSON object per line in, one JSON object per line out.
+
+Requests::
+
+    {"op": "point",  "x": 0.5, "y": 0.5}
+    {"op": "window", "xlo": 0.1, "ylo": 0.1, "xhi": 0.4, "yhi": 0.4}
+    {"op": "join"}
+    {"op": "insert", "eid": 7, "xlo": ..., "ylo": ..., "xhi": ..., "yhi": ...}
+    {"op": "delete", "eid": 7}
+    {"op": "stats"}
+
+Responses mirror :meth:`QueryOutcome.to_dict` for queries, or
+``{"ok": true, "epoch": N}`` for mutations; a malformed or unknown
+request gets ``{"error": ...}`` and the connection stays up.  One
+connection may pipeline any number of requests; requests on a single
+connection are answered in order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.service.api import JoinService
+
+
+class ServiceServer:
+    """An asyncio TCP server speaking the JSON-lines protocol."""
+
+    def __init__(
+        self, service: JoinService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` after start."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Start the service (compactor included) and bind the socket."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response, sort_keys=True).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict[str, Any]:
+        try:
+            request = json.loads(line)
+            op = request.get("op")
+            if op == "point":
+                outcome = await self.service.point(
+                    float(request["x"]), float(request["y"])
+                )
+                return outcome.to_dict()
+            if op == "window":
+                outcome = await self.service.window(
+                    float(request["xlo"]),
+                    float(request["ylo"]),
+                    float(request["xhi"]),
+                    float(request["yhi"]),
+                )
+                return outcome.to_dict()
+            if op == "join":
+                outcome = await self.service.join()
+                return outcome.to_dict()
+            if op == "insert":
+                entity = Entity(
+                    int(request["eid"]),
+                    Rect(
+                        float(request["xlo"]),
+                        float(request["ylo"]),
+                        float(request["xhi"]),
+                        float(request["yhi"]),
+                    ),
+                )
+                epoch = await self.service.insert(entity)
+                return {"ok": True, "epoch": epoch}
+            if op == "delete":
+                epoch = await self.service.delete(int(request["eid"]))
+                return {"ok": True, "epoch": epoch}
+            if op == "stats":
+                return self.service.stats()
+            return {"error": f"unknown op {op!r}"}
+        except Exception as error:  # per-request fault isolation
+            return {"error": f"{type(error).__name__}: {error}"}

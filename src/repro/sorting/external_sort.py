@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
@@ -15,12 +14,6 @@ from repro.storage.pagedfile import PagedFile
 from repro.storage.records import RecordCodec
 
 SortKey = Callable[[Record], Any]
-
-_SORTER_IDS = itertools.count()
-"""Process-wide sorter numbering for temp run-file names.  Monotonic —
-unlike ``id(self)``, which the allocator can reuse across sorters, so
-two sorters on one storage manager could collide on run names and leak
-per-file sequential-run bookkeeping from one file into another."""
 
 
 @dataclass(frozen=True)
@@ -62,7 +55,10 @@ class ExternalSorter:
         if self.memory_pages < 2:
             raise ValueError("external sort needs at least two memory pages")
         self.bulk_pages = bulk_pages
-        self._uid = next(_SORTER_IDS)
+        # Numbered per storage manager (monotonic, never reused — unlike
+        # ``id(self)``), so two sorters on one manager cannot collide on
+        # run names, and names never depend on process-wide history.
+        self._uid = storage.next_sequence("sorter")
         self._seq = 0
         # Temp run files created by the in-flight sort; emptied on
         # success, dropped best-effort if a pass raises mid-sort.

@@ -209,6 +209,17 @@ class BufferPool:
         for key in [k for k in self._frames if k[0] == file_name]:
             del self._frames[key]
 
+    def clear(self) -> None:
+        """Drop every frame, pinned or not, without any I/O.
+
+        Manager close only: unlike :meth:`invalidate` this never raises
+        on a pinned frame, so a close running during exception
+        unwinding (e.g. a fault aborted a scan mid-pin) cannot mask the
+        original error — and a long-lived process cycling managers
+        cannot accumulate frames across open-query-close cycles.
+        """
+        self._frames.clear()
+
     def rename_file(self, old: str, new: str) -> None:
         """Re-key buffered frames of ``old`` under ``new``, preserving
         LRU order, pin counts, and dirty bits (no I/O, no ledger

@@ -79,6 +79,8 @@ class StorageManager:
             self.backend, self.config.buffer_pages, self.stats, metrics=metrics
         )
         self._files: dict[str, PagedFile] = {}
+        self._sequences: dict[str, int] = {}
+        self.closed = False
 
     def _make_backend(self) -> StorageBackend:
         if self.config.backend == "memory":
@@ -171,6 +173,19 @@ class StorageManager:
         """Names of all live files, sorted."""
         return sorted(self._files)
 
+    def next_sequence(self, kind: str) -> int:
+        """The next value of a per-manager named counter (0, 1, 2, ...).
+
+        Internal file naming (join inputs, per-run prefixes, sort-run
+        temp files) draws from these instead of module-level counters,
+        so names depend only on what *this* manager has done — the Nth
+        join in a warm process gets the same labels as a fresh process,
+        which is what makes run reports byte-identical across both.
+        """
+        value = self._sequences.get(kind, 0)
+        self._sequences[kind] = value + 1
+        return value
+
     # -- accounting helpers ---------------------------------------------
 
     @property
@@ -202,8 +217,19 @@ class StorageManager:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Flush dirty pages and release backend resources (idempotent)."""
+        """Flush dirty pages and release backend resources (idempotent).
+
+        After the first close every buffered frame is dropped and the
+        file table cleared, so a long-lived process cycling through
+        managers (the service's open-query-close loop) cannot leak pool
+        frames or dangling handles; further calls are no-ops.
+        """
+        if self.closed:
+            return
+        self.closed = True
         self.pool.flush()
+        self.pool.clear()
+        self._files.clear()
         self.backend.close()
         if self._tempdir is not None:
             self._tempdir.cleanup()

@@ -75,6 +75,18 @@ from repro.verify.metamorphic import (
     transforms_by_name,
 )
 from repro.verify.oracle import descriptor_boxes, oracle_for_case, oracle_pairs
+from repro.verify.service import (
+    ServiceVerifyReport,
+    ServiceViolation,
+    run_service_verify,
+)
+from repro.verify.service_chaos import (
+    ServiceChaosOutcome,
+    ServiceChaosReport,
+    ServiceChaosScenario,
+    run_service_chaos,
+    sample_service_scenario,
+)
 from repro.verify.workloads import cases_by_name, default_cases
 
 __all__ = [
@@ -97,6 +109,11 @@ __all__ = [
     "QUICK_TRANSFORMS",
     "ReplicationInvariant",
     "RunRecord",
+    "ServiceChaosOutcome",
+    "ServiceChaosReport",
+    "ServiceChaosScenario",
+    "ServiceVerifyReport",
+    "ServiceViolation",
     "TRANSFORMS",
     "Transform",
     "VerifyCase",
@@ -115,7 +132,10 @@ __all__ = [
     "run_chaos_case",
     "run_cross_mode",
     "run_executor",
+    "run_service_chaos",
+    "run_service_verify",
     "run_verify",
     "sample_scenario",
+    "sample_service_scenario",
     "transforms_by_name",
 ]

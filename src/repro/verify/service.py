@@ -1,0 +1,385 @@
+"""The service differential gate: live index vs cold-batch oracle.
+
+Replays a randomized sequence of interleaved queries, inserts, deletes,
+and compactions against a :class:`~repro.service.api.JoinService` and
+checks, **at every index epoch**, that the service's answers are
+exactly what a cold batch :func:`~repro.join.api.spatial_join` (and a
+brute-force window scan) computes over the same live entity set.  The
+live index never gets to drift from first principles: every mutation is
+immediately followed by a full re-derivation from scratch.
+
+With ``faults=True`` the index's storage runs under a scheduled
+:class:`~repro.faults.plan.FaultPlan` (a burst of transient read
+faults mid-sequence), and the gate additionally asserts the service's
+trichotomy: every query ends **correct** (equal to the oracle), **loud**
+(``status="failed"`` with a typed error), or **declared-partial**
+(``status="partial"`` carrying a ``CircuitOpen``
+:class:`~repro.faults.errors.ShardFailure`) — and partial results are
+admissible *only* while the circuit breaker is open.  After the fault
+burst passes, the breaker must close again and answers must return to
+exact oracle equality.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.datagen.uniform import uniform_squares
+from repro.faults.plan import FaultPlan, ScheduledFault
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.api import spatial_join
+from repro.service.api import BreakerState, JoinService, ServiceConfig
+from repro.service.index import PersistentIndex
+from repro.storage.manager import StorageConfig
+
+Progress = Callable[[str], None]
+
+
+@dataclass
+class ServiceViolation:
+    """One departure from the oracle (or from the trichotomy)."""
+
+    step: int
+    op: str
+    epoch: int
+    detail: str
+
+    def describe(self) -> str:
+        return f"step {self.step} [{self.op}] epoch {self.epoch}: {self.detail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "step": self.step,
+            "op": self.op,
+            "epoch": self.epoch,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ServiceVerifyReport:
+    """The gate's verdict over one replayed sequence."""
+
+    ops: int = 0
+    epochs_checked: int = 0
+    join_checks: int = 0
+    window_checks: int = 0
+    ok_queries: int = 0
+    failed_queries: int = 0
+    partial_queries: int = 0
+    compactions: int = 0
+    breaker_opened: int = 0
+    faults: bool = False
+    violations: list[ServiceViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            "service differential gate: "
+            + ("PASS" if self.ok else "FAIL"),
+            f"  ops replayed       : {self.ops}"
+            + (" (with injected faults)" if self.faults else ""),
+            f"  epochs checked     : {self.epochs_checked}",
+            f"  join/window checks : {self.join_checks}/{self.window_checks}",
+            f"  query outcomes     : {self.ok_queries} ok, "
+            f"{self.failed_queries} failed, {self.partial_queries} partial",
+            f"  compactions        : {self.compactions}",
+            f"  breaker opened     : {self.breaker_opened}x",
+        ]
+        lines += [f"  VIOLATION {v.describe()}" for v in self.violations]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "ops": self.ops,
+            "epochs_checked": self.epochs_checked,
+            "join_checks": self.join_checks,
+            "window_checks": self.window_checks,
+            "ok_queries": self.ok_queries,
+            "failed_queries": self.failed_queries,
+            "partial_queries": self.partial_queries,
+            "compactions": self.compactions,
+            "breaker_opened": self.breaker_opened,
+            "faults": self.faults,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _brute_window(entities: list[Entity], window: Rect) -> tuple[int, ...]:
+    return tuple(
+        sorted(e.eid for e in entities if e.mbr.intersects(window))
+    )
+
+
+def run_service_verify(
+    seed: int = 0,
+    ops: int = 60,
+    entities: int = 120,
+    faults: bool = True,
+    progress: Progress | None = None,
+) -> ServiceVerifyReport:
+    """Replay one randomized op sequence through the gate (see module
+    docstring).  Deterministic in ``seed`` up to breaker timing."""
+    return asyncio.run(
+        _run_service_verify(seed, ops, entities, faults, progress)
+    )
+
+
+async def _run_service_verify(
+    seed: int,
+    ops: int,
+    entities: int,
+    faults: bool,
+    progress: Progress | None,
+) -> ServiceVerifyReport:
+    rng = random.Random(seed)
+    report = ServiceVerifyReport(faults=faults)
+    note = progress or (lambda message: None)
+
+    dataset = uniform_squares(entities, 0.04, seed=seed + 1, name="SVC-VERIFY")
+    fault_plan = None
+    if faults:
+        # A burst of transient read faults beginning mid-sequence.  The
+        # breaker must trip (loud failures first, then declared-partial
+        # service), and once probing queries burn through the window the
+        # service must recover to exact answers.
+        fault_plan = FaultPlan(
+            schedule=(
+                ScheduledFault(op="read", kind="transient", first=40, last=70),
+            )
+        )
+    index = PersistentIndex(
+        dataset.entities,
+        storage=StorageConfig(fault_plan=fault_plan),
+        compaction_threshold=10**9,  # compaction is an explicit replay op
+    )
+    config = ServiceConfig(
+        breaker_threshold=2,
+        breaker_reset_s=0.02,
+        cache_size=64,
+        compaction_interval_s=60.0,
+    )
+    service = JoinService(index, config)
+
+    next_eid = max((e.eid for e in dataset.entities), default=0) + 1
+
+    async def check_epoch(step: int) -> None:
+        """Full re-derivation: the service's join and a window query
+        against cold-batch / brute-force oracles over the live set."""
+        live = index.snapshot_dataset()
+        outcome = await service.join()
+        state = service.breaker.state
+        _tally(report, outcome.status)
+        if outcome.status == "ok":
+            oracle = spatial_join(live, live, algorithm="s3j").pairs
+            report.join_checks += 1
+            if outcome.pairs != oracle:
+                missing = len(oracle - outcome.pairs)
+                extra = len(outcome.pairs - oracle)
+                report.violations.append(
+                    ServiceViolation(
+                        step,
+                        "join",
+                        outcome.epoch,
+                        f"pair set diverged from cold spatial_join: "
+                        f"{missing} missing, {extra} extra",
+                    )
+                )
+        else:
+            _check_non_ok(report, step, "join", outcome, state)
+
+        window = Rect(
+            rng.uniform(0.0, 0.6),
+            rng.uniform(0.0, 0.6),
+            rng.uniform(0.6, 1.0),
+            rng.uniform(0.6, 1.0),
+        )
+        w_outcome = await service.window(
+            window.xlo, window.ylo, window.xhi, window.yhi
+        )
+        state = service.breaker.state
+        _tally(report, w_outcome.status)
+        if w_outcome.status == "ok":
+            report.window_checks += 1
+            brute = _brute_window(index.live_entities(), window)
+            if w_outcome.eids != brute:
+                report.violations.append(
+                    ServiceViolation(
+                        step,
+                        "window",
+                        w_outcome.epoch,
+                        f"window result diverged from brute force: "
+                        f"got {len(w_outcome.eids or ())}, "
+                        f"expected {len(brute)}",
+                    )
+                )
+        else:
+            _check_non_ok(report, step, "window", w_outcome, state)
+        report.epochs_checked += 1
+
+    await check_epoch(0)
+    for step in range(1, ops + 1):
+        choice = rng.random()
+        if choice < 0.40:
+            entity = Entity(
+                next_eid,
+                Rect.from_center(
+                    rng.uniform(0.05, 0.95),
+                    rng.uniform(0.05, 0.95),
+                    rng.uniform(0.0, 0.08),
+                    rng.uniform(0.0, 0.08),
+                ).clamped(),
+            )
+            next_eid += 1
+            await service.insert(entity)
+            report.ops += 1
+        elif choice < 0.65 and len(index) > entities // 2:
+            victim = rng.choice(sorted(index.live_entities(), key=lambda e: e.eid))
+            await service.delete(victim.eid)
+            report.ops += 1
+        elif choice < 0.80 and index.delta_records:
+            try:
+                if await service.compact():
+                    report.compactions += 1
+            except Exception as error:  # fault during compaction: loud
+                report.failed_queries += 1
+                note(f"step {step}: compaction failed loudly: {error}")
+            report.ops += 1
+        else:
+            px, py = rng.uniform(0, 1), rng.uniform(0, 1)
+            point = await service.point(px, py)
+            state = service.breaker.state
+            _tally(report, point.status)
+            if point.status == "ok":
+                brute = tuple(
+                    sorted(
+                        e.eid
+                        for e in index.live_entities()
+                        if e.mbr.contains_point(px, py)
+                    )
+                )
+                if point.eids != brute:
+                    report.violations.append(
+                        ServiceViolation(
+                            step,
+                            "point",
+                            point.epoch,
+                            f"point result diverged from brute force: "
+                            f"got {len(point.eids or ())}, "
+                            f"expected {len(brute)}",
+                        )
+                    )
+            else:
+                _check_non_ok(report, step, "point", point, state)
+            report.ops += 1
+        await check_epoch(step)
+        if faults and step % 10 == 0:
+            # Give the breaker's reset clock room to half-open so the
+            # recovery path (probe -> close) is actually exercised.
+            await asyncio.sleep(config.breaker_reset_s)
+
+    report.breaker_opened = service.breaker.opened_count
+    if faults:
+        if report.failed_queries == 0:
+            report.violations.append(
+                ServiceViolation(
+                    ops, "faults", index.epoch,
+                    "fault plan injected no loud failures",
+                )
+            )
+        if report.breaker_opened == 0:
+            report.violations.append(
+                ServiceViolation(
+                    ops, "faults", index.epoch,
+                    "breaker never opened under the fault burst",
+                )
+            )
+        if service.breaker.state is not BreakerState.CLOSED:
+            # One last recovery drive: burn remaining probes.
+            for _ in range(20):
+                await asyncio.sleep(config.breaker_reset_s)
+                outcome = await service.join()
+                _tally(report, outcome.status)
+                if outcome.status == "ok":
+                    break
+        final = await service.join()
+        _tally(report, final.status)
+        live = index.snapshot_dataset()
+        oracle = spatial_join(live, live, algorithm="s3j").pairs
+        report.join_checks += 1
+        report.epochs_checked += 1
+        if final.status != "ok" or final.pairs != oracle:
+            report.violations.append(
+                ServiceViolation(
+                    ops, "recovery", index.epoch,
+                    f"service did not recover to exact answers after the "
+                    f"fault burst (final status {final.status!r})",
+                )
+            )
+    index.close()
+    note(
+        f"service verify: {report.ops} ops, "
+        f"{report.epochs_checked} epochs checked, "
+        f"breaker opened {report.breaker_opened}x"
+    )
+    return report
+
+
+def _tally(report: ServiceVerifyReport, status: str) -> None:
+    if status == "ok":
+        report.ok_queries += 1
+    elif status == "failed":
+        report.failed_queries += 1
+    elif status == "partial":
+        report.partial_queries += 1
+
+
+def _check_non_ok(
+    report: ServiceVerifyReport,
+    step: int,
+    op: str,
+    outcome: Any,
+    state: BreakerState,
+) -> None:
+    """A non-ok query must be loud or declared-partial-with-open-breaker."""
+    if outcome.status == "failed":
+        if not outcome.error:
+            report.violations.append(
+                ServiceViolation(
+                    step, op, outcome.epoch,
+                    "failed outcome carries no typed error (silent failure)",
+                )
+            )
+    elif outcome.status == "partial":
+        named = any(
+            failure.error_type == "CircuitOpen" for failure in outcome.failures
+        )
+        if not named:
+            report.violations.append(
+                ServiceViolation(
+                    step, op, outcome.epoch,
+                    "partial outcome does not declare the open breaker",
+                )
+            )
+        if state is BreakerState.CLOSED:
+            report.violations.append(
+                ServiceViolation(
+                    step, op, outcome.epoch,
+                    "partial result served while the breaker was closed",
+                )
+            )
+    else:
+        report.violations.append(
+            ServiceViolation(
+                step, op, outcome.epoch,
+                f"unexpected query status {outcome.status!r}",
+            )
+        )

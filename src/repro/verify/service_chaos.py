@@ -1,0 +1,322 @@
+"""Chaos scenarios for the long-lived join service.
+
+The batch-side chaos harness (:mod:`repro.verify.chaos`) asserts that
+one-shot joins under sampled fault plans end **correct**, **loud**, or
+**declared-partial** — never silently wrong.  This module applies the
+same discipline to the service: each :class:`ServiceChaosScenario` is a
+deterministically sampled fault plan (a scheduled mid-stream burst, a
+seeded transient/permanent drizzle, or a quiet control) replayed as an
+interleaved stream of queries and mutations against one resident
+:class:`~repro.service.index.PersistentIndex`.
+
+Every query outcome is classified under the service trichotomy:
+
+- ``"ok"`` results must equal a brute-force oracle over the live set
+  (the answer, not just the status, is checked);
+- ``"failed"`` results must carry a typed error string;
+- ``"partial"`` results must declare the open circuit breaker (a
+  ``CircuitOpen`` :class:`~repro.faults.errors.ShardFailure`) and may
+  only appear while the breaker is not closed.
+
+A compaction that dies mid-fold must die loudly (a typed
+:class:`~repro.faults.errors.FaultError`) and must leave the index
+answering exactly — the write-new + atomic-rename discipline means a
+failed fold never corrupts the base files.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults.errors import FaultError
+from repro.faults.plan import FaultPlan, ScheduledFault
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.service.api import BreakerState, JoinService, ServiceConfig
+from repro.service.index import PersistentIndex
+from repro.storage.manager import StorageConfig
+
+Progress = Callable[[str], None]
+
+GOOD_PROFILES = ("scheduled-burst", "seeded-transient", "permanent-burst", "quiet")
+
+
+@dataclass(frozen=True)
+class ServiceChaosScenario:
+    """One sampled service fault scenario, a pure function of (seed, index)."""
+
+    index: int
+    seed: int
+    profile: str
+    plan: FaultPlan | None
+    ops: int
+    entities: int
+
+    def describe(self) -> str:
+        plan = self.plan.describe() if self.plan is not None else "no faults"
+        return (
+            f"#{self.index} service {self.profile} "
+            f"({self.ops} ops over {self.entities} entities) {plan}"
+        )
+
+
+@dataclass(frozen=True)
+class ServiceChaosOutcome:
+    """How one scenario's replay ended."""
+
+    scenario: str
+    ok_queries: int
+    failed_queries: int
+    partial_queries: int
+    violations: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "ok_queries": self.ok_queries,
+            "failed_queries": self.failed_queries,
+            "partial_queries": self.partial_queries,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class ServiceChaosReport:
+    """The sweep's verdict."""
+
+    outcomes: list[ServiceChaosOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def summary(self) -> str:
+        bad = [outcome for outcome in self.outcomes if not outcome.ok]
+        lines = [
+            "service chaos sweep: " + ("PASS" if self.ok else "FAIL"),
+            f"  scenarios : {len(self.outcomes)} ({len(bad)} violated)",
+        ]
+        for outcome in bad:
+            lines.append(f"  VIOLATION {outcome.scenario}")
+            lines += [f"    {violation}" for violation in outcome.violations]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "scenarios": len(self.outcomes),
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def sample_service_scenario(
+    index: int, seed: int, ops: int = 30, entities: int = 80
+) -> ServiceChaosScenario:
+    """Deterministically sample service chaos case number ``index``."""
+    rng = random.Random((seed << 20) ^ index)
+    profile = GOOD_PROFILES[index % len(GOOD_PROFILES)]
+    plan: FaultPlan | None
+    if profile == "scheduled-burst":
+        first = rng.randrange(10, 40)
+        plan = FaultPlan(
+            schedule=(
+                ScheduledFault(
+                    op="read",
+                    kind="transient",
+                    first=first,
+                    last=first + rng.randrange(10, 30),
+                ),
+            )
+        )
+    elif profile == "seeded-transient":
+        plan = FaultPlan(
+            seed=rng.randrange(2**31),
+            transient_read_rate=rng.uniform(0.02, 0.15),
+        )
+    elif profile == "permanent-burst":
+        # Permanent read faults in a bounded window.  Scheduled on reads
+        # only: the bulk load is write-only, so the index always comes
+        # up — the burst lands on queries and compaction folds.
+        first = rng.randrange(5, 30)
+        plan = FaultPlan(
+            schedule=(
+                ScheduledFault(
+                    op="read",
+                    kind="permanent",
+                    first=first,
+                    last=first + rng.randrange(3, 12),
+                ),
+            )
+        )
+    else:  # quiet control: the trichotomy must collapse to all-ok
+        plan = None
+    return ServiceChaosScenario(
+        index=index,
+        seed=seed,
+        profile=profile,
+        plan=plan,
+        ops=ops,
+        entities=entities,
+    )
+
+
+def run_service_chaos(
+    cases: int = 8,
+    seed: int = 0,
+    ops: int = 30,
+    entities: int = 80,
+    progress: Progress | None = None,
+) -> ServiceChaosReport:
+    """Replay ``cases`` sampled scenarios; any violation fails the sweep."""
+    note = progress or (lambda message: None)
+    report = ServiceChaosReport()
+    for index in range(cases):
+        scenario = sample_service_scenario(index, seed, ops, entities)
+        outcome = asyncio.run(_run_scenario(scenario))
+        verdict = "ok" if outcome.ok else "VIOLATED"
+        note(f"{scenario.describe()} -> {verdict}")
+        report.outcomes.append(outcome)
+    return report
+
+
+def _brute_pairs(live: list[Entity]) -> frozenset[tuple[int, int]]:
+    pairs = set()
+    for position, a in enumerate(live):
+        for b in live[position + 1 :]:
+            if a.mbr.intersects(b.mbr):
+                pairs.add((min(a.eid, b.eid), max(a.eid, b.eid)))
+    return frozenset(pairs)
+
+
+async def _run_scenario(scenario: ServiceChaosScenario) -> ServiceChaosOutcome:
+    rng = random.Random(scenario.seed * 7919 + scenario.index)
+    violations: list[str] = []
+    counts = {"ok": 0, "failed": 0, "partial": 0}
+
+    def entity(eid: int) -> Entity:
+        side = rng.uniform(0.01, 0.08)
+        x = rng.uniform(0.0, 1.0 - side)
+        y = rng.uniform(0.0, 1.0 - side)
+        return Entity.from_geometry(eid, Rect(x, y, x + side, y + side))
+
+    bootstrap = [entity(eid) for eid in range(scenario.entities)]
+    index = PersistentIndex(
+        bootstrap,
+        storage=StorageConfig(fault_plan=scenario.plan),
+        compaction_threshold=10**9,  # compaction is an explicit replay op
+    )
+    config = ServiceConfig(
+        breaker_threshold=2, breaker_reset_s=0.01, compaction_interval_s=60.0
+    )
+    service = JoinService(index, config)
+    next_eid = scenario.entities
+
+    def classify(step: int, op: str, outcome: Any) -> None:
+        state = service.breaker.state
+        if outcome.status == "ok":
+            counts["ok"] += 1
+        elif outcome.status == "failed":
+            counts["failed"] += 1
+            if not outcome.error:
+                violations.append(
+                    f"step {step} [{op}]: failed without a typed error"
+                )
+            if scenario.plan is None:
+                violations.append(
+                    f"step {step} [{op}]: loud failure with no fault plan"
+                )
+        elif outcome.status == "partial":
+            counts["partial"] += 1
+            if not any(
+                failure.error_type == "CircuitOpen"
+                for failure in outcome.failures
+            ):
+                violations.append(
+                    f"step {step} [{op}]: partial without CircuitOpen failure"
+                )
+            if state is BreakerState.CLOSED:
+                violations.append(
+                    f"step {step} [{op}]: partial with the breaker closed"
+                )
+        else:
+            violations.append(
+                f"step {step} [{op}]: unexpected status {outcome.status!r}"
+            )
+
+    try:
+        for step in range(scenario.ops):
+            choice = rng.random()
+            if choice < 0.30:
+                await service.insert(entity(next_eid))
+                next_eid += 1
+            elif choice < 0.45 and len(index) > scenario.entities // 2:
+                live = index.live_entities()
+                await service.delete(rng.choice(live).eid)
+            elif choice < 0.55 and index.delta_records:
+                answers_before = _brute_pairs(index.live_entities())
+                try:
+                    await service.compact()
+                except FaultError:
+                    # Loud is fine; the fold must not have corrupted the
+                    # base — the next exact join proves it below.
+                    counts["failed"] += 1
+                except Exception as error:  # noqa: BLE001 - silent class
+                    violations.append(
+                        f"step {step} [compact]: untyped failure "
+                        f"{type(error).__name__}: {error}"
+                    )
+                if _brute_pairs(index.live_entities()) != answers_before:
+                    violations.append(
+                        f"step {step} [compact]: live set changed across "
+                        f"compaction"
+                    )
+            elif choice < 0.80:
+                outcome = await service.join()
+                classify(step, "join", outcome)
+                if outcome.status == "ok":
+                    expected = _brute_pairs(index.live_entities())
+                    if outcome.pairs != expected:
+                        violations.append(
+                            f"step {step} [join]: silent wrong answer "
+                            f"({len(outcome.pairs)} pairs, expected "
+                            f"{len(expected)})"
+                        )
+            else:
+                x, y = rng.uniform(0, 1), rng.uniform(0, 1)
+                outcome = await service.point(x, y)
+                classify(step, "point", outcome)
+                if outcome.status == "ok":
+                    expected = tuple(
+                        sorted(
+                            e.eid
+                            for e in index.live_entities()
+                            if e.mbr.contains_point(x, y)
+                        )
+                    )
+                    if outcome.eids != expected:
+                        violations.append(
+                            f"step {step} [point]: silent wrong answer"
+                        )
+            if step % 8 == 7:
+                await asyncio.sleep(config.breaker_reset_s)
+        if scenario.plan is None and (counts["failed"] or counts["partial"]):
+            violations.append(
+                "quiet control produced non-ok outcomes: "
+                f"{counts['failed']} failed, {counts['partial']} partial"
+            )
+    finally:
+        index.close()
+    return ServiceChaosOutcome(
+        scenario=scenario.describe(),
+        ok_queries=counts["ok"],
+        failed_queries=counts["failed"],
+        partial_queries=counts["partial"],
+        violations=tuple(violations),
+    )

@@ -241,3 +241,58 @@ class TestMetrics:
     def test_describe_contains_key_fields(self):
         text = self.make_metrics().describe()
         assert "test" in text and "partition" in text and "r_A" in text
+
+
+class TestParameterValidation:
+    def small(self):
+        return make_squares(20, 0.05, seed=1, name="V")
+
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, "2"])
+    def test_bad_workers_raises(self, workers):
+        ds = self.small()
+        with pytest.raises(ValueError, match="workers"):
+            spatial_join(ds, ds, workers=workers)
+
+    @pytest.mark.parametrize("shard_level", [-1, 0.5, "1"])
+    def test_bad_shard_level_raises(self, shard_level):
+        ds = self.small()
+        with pytest.raises(ValueError, match="shard_level"):
+            spatial_join(ds, ds, shard_level=shard_level)
+
+    def test_none_shard_level_allowed(self):
+        ds = self.small()
+        assert spatial_join(ds, ds).pairs  # shard_level=None is the default
+
+
+class TestWarmProcessDeterminism:
+    """Back-to-back joins in one process must be byte-identical.
+
+    File names used to come from process-global counters, so a warm
+    process numbered its runs differently from a fresh one and the
+    second run's ledger/report drifted.  Naming is per-manager now."""
+
+    def run_once(self, workers=1):
+        import json
+
+        dataset_a = make_squares(80, 0.03, seed=5, name="A")
+        dataset_b = make_squares(90, 0.04, seed=6, name="B")
+        result = spatial_join(dataset_a, dataset_b, workers=workers)
+        return json.dumps(result.metrics.to_dict(), sort_keys=True)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_back_to_back_joins_identical(self, workers):
+        assert self.run_once(workers) == self.run_once(workers)
+
+    def test_warm_process_all_algorithms(self):
+        import json
+
+        ds = make_squares(100, 0.03, seed=9, name="S")
+        for algorithm in available_algorithms():
+            dumps = [
+                json.dumps(
+                    spatial_join(ds, ds, algorithm=algorithm).metrics.to_dict(),
+                    sort_keys=True,
+                )
+                for _ in range(2)
+            ]
+            assert dumps[0] == dumps[1], f"{algorithm} drifted when warm"

@@ -1,0 +1,426 @@
+"""Tests for the long-lived join service (repro.service).
+
+Index semantics (delta / tombstones / compaction / epoch), the service
+front-end's defensive layers (token bucket, circuit breaker, LRU
+cache), the JSON-lines server round-trip, and a quick run of the
+service differential gate.  Async paths run under ``asyncio.run`` —
+the suite has no pytest-asyncio dependency.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.join.api import spatial_join
+from repro.service import (
+    BreakerState,
+    CircuitBreaker,
+    JoinService,
+    PersistentIndex,
+    QueryOutcome,
+    ResultCache,
+    ServiceConfig,
+    ServiceServer,
+    TokenBucket,
+)
+from repro.verify.service import run_service_verify
+
+from tests.conftest import brute_force_self_pairs, make_squares
+
+
+def square(eid: int, x: float, y: float, side: float = 0.05) -> Entity:
+    return Entity.from_geometry(eid, Rect(x, y, x + side, y + side))
+
+
+def oracle_pairs(index: PersistentIndex) -> frozenset:
+    live = index.snapshot_dataset()
+    return spatial_join(live, live, algorithm="s3j").pairs
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for bucket/breaker tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPersistentIndex:
+    def test_bulk_load_self_join_matches_batch(self):
+        dataset = make_squares(150, side=0.03, seed=7, name="SVC")
+        with PersistentIndex(dataset.entities) as index:
+            assert index.self_join() == oracle_pairs(index)
+            assert index.self_join() == brute_force_self_pairs(dataset)
+
+    def test_insert_lands_in_delta_and_joins(self):
+        dataset = make_squares(60, side=0.03, seed=3)
+        with PersistentIndex(dataset.entities) as index:
+            epoch = index.insert(square(1000, 0.4, 0.4, side=0.2))
+            assert epoch == 1
+            assert index.delta_records == 1
+            assert 1000 in index
+            assert any(1000 in pair for pair in index.self_join())
+            assert index.self_join() == oracle_pairs(index)
+
+    def test_duplicate_insert_raises(self):
+        with PersistentIndex([square(1, 0.1, 0.1)]) as index:
+            with pytest.raises(ValueError, match="already live"):
+                index.insert(square(1, 0.5, 0.5))
+
+    def test_delete_base_entity_tombstones(self):
+        dataset = make_squares(40, side=0.04, seed=5)
+        with PersistentIndex(dataset.entities) as index:
+            index.delete(dataset.entities[0].eid)
+            assert index.delta_records == 1  # the tombstone
+            assert dataset.entities[0].eid not in index
+            assert index.self_join() == oracle_pairs(index)
+
+    def test_delete_buffered_insert_removes_outright(self):
+        with PersistentIndex([square(1, 0.1, 0.1)]) as index:
+            index.insert(square(2, 0.5, 0.5))
+            assert index.delta_records == 1
+            index.delete(2)
+            assert index.delta_records == 0  # no tombstone needed
+            assert 2 not in index
+
+    def test_delete_missing_raises(self):
+        with PersistentIndex() as index:
+            with pytest.raises(KeyError, match="no live entity"):
+                index.delete(42)
+
+    def test_compaction_folds_delta_preserves_answers(self):
+        dataset = make_squares(80, side=0.04, seed=11)
+        with PersistentIndex(dataset.entities) as index:
+            for i in range(10):
+                index.insert(square(2000 + i, 0.05 + 0.09 * i, 0.3, side=0.1))
+            index.delete(dataset.entities[0].eid)
+            before = index.self_join()
+            epoch_before = index.epoch
+            assert index.compact()
+            assert index.delta_records == 0
+            assert index.compactions == 1
+            assert index.epoch == epoch_before + 1
+            assert index.self_join() == before == oracle_pairs(index)
+
+    def test_compact_empty_delta_is_noop(self):
+        with PersistentIndex(make_squares(20, 0.03, seed=1).entities) as index:
+            epoch = index.epoch
+            assert not index.compact()
+            assert index.epoch == epoch
+
+    def test_compaction_threshold_flag(self):
+        with PersistentIndex(compaction_threshold=2) as index:
+            index.insert(square(1, 0.1, 0.1))
+            assert not index.needs_compaction
+            index.insert(square(2, 0.5, 0.5))
+            assert index.needs_compaction
+
+    def test_window_and_point_queries(self):
+        dataset = make_squares(100, side=0.05, seed=13)
+        with PersistentIndex(dataset.entities) as index:
+            window = Rect(0.2, 0.2, 0.6, 0.6)
+            expected = tuple(
+                sorted(
+                    e.eid for e in dataset.entities if e.mbr.intersects(window)
+                )
+            )
+            assert index.window_query(window) == expected
+            x, y = 0.3, 0.3
+            hits = index.point_query(x, y)
+            assert hits == tuple(
+                sorted(
+                    e.eid
+                    for e in dataset.entities
+                    if e.mbr.contains_point(x, y)
+                )
+            )
+
+    def test_every_mutation_bumps_epoch(self):
+        with PersistentIndex() as index:
+            assert index.insert(square(1, 0.1, 0.1)) == 1
+            assert index.insert(square(2, 0.2, 0.2)) == 2
+            assert index.delete(1) == 3
+
+    def test_close_idempotent(self):
+        index = PersistentIndex(make_squares(10, 0.03, seed=1).entities)
+        index.close()
+        index.close()  # second close is a no-op
+        assert index.storage.closed
+
+
+class TestTokenBucket:
+    def test_unlimited_when_rate_none(self):
+        bucket = TokenBucket(None, burst=1, clock=FakeClock())
+        assert all(bucket.try_acquire() for _ in range(100))
+
+    def test_burst_exhaustion_and_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst drained
+        clock.advance(0.1)  # 1 token refilled at 10/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3, clock=clock)
+        clock.advance(60.0)
+        for _ in range(3):
+            assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(threshold=3, reset_s=1.0, clock=FakeClock())
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # third failure opens it
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.opened_count == 1
+
+    def test_half_open_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, reset_s=1.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # the one probe
+        assert not breaker.allow()  # a second caller is held back
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=5, reset_s=1.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails: back to OPEN immediately
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, reset_s=1.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b", the least recent
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_hit_miss_counters(self):
+        cache = ResultCache(maxsize=4)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("absent")
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_zero_size_never_stores(self):
+        cache = ResultCache(maxsize=0)
+        cache.put("k", "v")
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+
+class TestServiceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"rate": 0.0},
+            {"rate": -1.0},
+            {"burst": 0},
+            {"cache_size": -1},
+            {"breaker_threshold": 0},
+            {"breaker_reset_s": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+
+class TestJoinService:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_join_matches_batch_oracle(self):
+        dataset = make_squares(120, side=0.04, seed=17)
+
+        async def scenario():
+            with PersistentIndex(dataset.entities) as index:
+                async with JoinService(index) as service:
+                    outcome = await service.join()
+                    assert outcome.status == "ok"
+                    assert outcome.pairs == oracle_pairs(index)
+                    return outcome
+
+        outcome = self.run(scenario())
+        assert isinstance(outcome, QueryOutcome)
+        assert outcome.complete
+
+    def test_cache_hit_and_epoch_invalidation(self):
+        dataset = make_squares(60, side=0.04, seed=19)
+
+        async def scenario():
+            with PersistentIndex(dataset.entities) as index:
+                service = JoinService(index)
+                first = await service.join()
+                second = await service.join()
+                assert not first.cached and second.cached
+                assert second.pairs == first.pairs
+                await service.insert(square(5000, 0.45, 0.45, side=0.1))
+                third = await service.join()  # epoch moved: recomputed
+                assert not third.cached
+                assert third.pairs == oracle_pairs(index)
+                assert third.pairs != first.pairs
+
+        self.run(scenario())
+
+    def test_rate_limit_rejects_loudly(self):
+        clock = FakeClock()
+
+        async def scenario():
+            with PersistentIndex([square(1, 0.1, 0.1)]) as index:
+                config = ServiceConfig(rate=1.0, burst=1)
+                service = JoinService(index, config, clock=clock)
+                first = await service.point(0.5, 0.5)
+                second = await service.point(0.5, 0.5)
+                assert first.status == "ok"
+                assert second.status == "rejected"
+                assert second.error == "rate limited"
+                assert service.rejected == 1
+                clock.advance(2.0)
+                third = await service.point(0.5, 0.5)
+                assert third.status == "ok"
+
+        self.run(scenario())
+
+    def test_background_compactor_folds_delta(self):
+        async def scenario():
+            with PersistentIndex(compaction_threshold=5) as index:
+                config = ServiceConfig(compaction_interval_s=0.005)
+                async with JoinService(index, config) as service:
+                    for i in range(8):
+                        await service.insert(
+                            square(i, 0.1 + 0.08 * i, 0.2, side=0.06)
+                        )
+                    for _ in range(200):
+                        if index.compactions:
+                            break
+                        await asyncio.sleep(0.005)
+                    assert index.compactions >= 1
+                    assert index.delta_records < 5
+                    outcome = await service.join()
+                    assert outcome.status == "ok"
+                    assert outcome.pairs == oracle_pairs(index)
+
+        self.run(scenario())
+
+    def test_stats_snapshot_keys(self):
+        async def scenario():
+            with PersistentIndex([square(1, 0.1, 0.1)]) as index:
+                service = JoinService(index)
+                await service.point(0.1, 0.1)
+                stats = service.stats()
+                assert stats["entities"] == 1
+                assert stats["queries"] == 1
+                assert stats["breaker"]["state"] == "closed"
+                assert set(stats["cache"]) == {"size", "hits", "misses"}
+                json.dumps(stats)  # must be JSON-serializable as-is
+
+        self.run(scenario())
+
+
+class TestServiceServer:
+    def test_json_lines_round_trip(self):
+        dataset = make_squares(50, side=0.04, seed=23)
+
+        async def scenario():
+            with PersistentIndex(dataset.entities) as index:
+                server = ServiceServer(JoinService(index))
+                host, port = await server.start()
+                reader, writer = await asyncio.open_connection(host, port)
+
+                async def ask(request):
+                    writer.write(json.dumps(request).encode() + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                join = await ask({"op": "join"})
+                assert join["status"] == "ok"
+                expected = sorted(
+                    list(pair) for pair in oracle_pairs(index)
+                )
+                assert join["pairs"] == expected
+
+                inserted = await ask(
+                    {"op": "insert", "eid": 9000, "xlo": 0.4, "ylo": 0.4,
+                     "xhi": 0.6, "yhi": 0.6}
+                )
+                assert inserted == {"ok": True, "epoch": 1}
+
+                window = await ask(
+                    {"op": "window", "xlo": 0.45, "ylo": 0.45,
+                     "xhi": 0.55, "yhi": 0.55}
+                )
+                assert 9000 in window["eids"]
+
+                deleted = await ask({"op": "delete", "eid": 9000})
+                assert deleted["ok"] and deleted["epoch"] == 2
+
+                stats = await ask({"op": "stats"})
+                assert stats["entities"] == 50
+
+                bad = await ask({"op": "frobnicate"})
+                assert "unknown op" in bad["error"]
+
+                malformed = await ask({"op": "delete"})  # missing eid
+                assert "error" in malformed  # connection survives
+                assert (await ask({"op": "stats"}))["entities"] == 50
+
+                writer.close()
+                await writer.wait_closed()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestServiceVerifyGate:
+    def test_clean_replay_passes(self):
+        report = run_service_verify(seed=2, ops=20, entities=60, faults=False)
+        assert report.ok, report.summary()
+        assert report.epochs_checked == 21
+        assert report.failed_queries == 0
+        assert report.partial_queries == 0
+
+    def test_fault_replay_passes_and_exercises_breaker(self):
+        report = run_service_verify(seed=0, ops=60, entities=100, faults=True)
+        assert report.ok, report.summary()
+        assert report.failed_queries > 0
+        assert report.breaker_opened > 0

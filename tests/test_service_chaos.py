@@ -1,0 +1,196 @@
+"""Chaos tests for the long-lived join service.
+
+The sampled-scenario sweep (repro.verify.service_chaos) plus targeted
+cases: the breaker trichotomy under a mid-stream fault burst, loud
+compaction failures leaving the base files intact, and cache
+invalidation across a compaction epoch (the stale-cache bug class the
+epoch key exists to kill).
+"""
+
+import asyncio
+
+from repro.faults.errors import FaultError
+from repro.faults.plan import FaultPlan, ScheduledFault
+from repro.service import (
+    BreakerState,
+    JoinService,
+    PersistentIndex,
+    ServiceConfig,
+)
+from repro.storage.manager import StorageConfig
+from repro.verify.service_chaos import (
+    run_service_chaos,
+    sample_service_scenario,
+)
+
+from tests.conftest import make_squares
+
+
+def square_entity(eid, x, y, side=0.1):
+    from repro.geometry.entity import Entity
+    from repro.geometry.rect import Rect
+
+    return Entity.from_geometry(eid, Rect(x, y, x + side, y + side))
+
+
+class TestScenarioSampling:
+    def test_deterministic_in_seed_and_index(self):
+        a = sample_service_scenario(3, seed=9)
+        b = sample_service_scenario(3, seed=9)
+        assert a == b
+        assert sample_service_scenario(4, seed=9) != a
+
+    def test_profiles_cycle(self):
+        profiles = [sample_service_scenario(i, seed=0).profile for i in range(4)]
+        assert len(set(profiles)) == 4
+        assert sample_service_scenario(3, seed=0).plan is None  # quiet
+
+
+class TestServiceChaosSweep:
+    def test_sweep_passes(self):
+        report = run_service_chaos(cases=4, seed=1, ops=25, entities=60)
+        assert report.ok, report.summary()
+        assert len(report.outcomes) == 4
+
+    def test_report_shape(self):
+        report = run_service_chaos(cases=2, seed=5, ops=15, entities=40)
+        payload = report.to_dict()
+        assert payload["scenarios"] == 2
+        assert all(
+            set(o) >= {"scenario", "violations", "ok_queries"}
+            for o in payload["outcomes"]
+        )
+
+
+class TestFaultBurstTrichotomy:
+    def test_burst_trips_breaker_then_partial(self):
+        """A read-fault burst: the first failures are loud, the tripped
+        breaker then declares partial results, never a silent wrong set."""
+        dataset = make_squares(80, side=0.04, seed=31)
+        plan = FaultPlan(
+            schedule=(
+                ScheduledFault(op="read", kind="transient", first=1, last=None),
+            )
+        )
+
+        async def scenario():
+            index = PersistentIndex(
+                dataset.entities, storage=StorageConfig(fault_plan=plan)
+            )
+            try:
+                config = ServiceConfig(breaker_threshold=2, breaker_reset_s=60.0)
+                service = JoinService(index, config)
+                first = await service.join()
+                second = await service.join()
+                assert first.status == second.status == "failed"
+                assert "injected" in first.error
+                assert service.breaker.state is BreakerState.OPEN
+                third = await service.join()
+                assert third.status == "partial"
+                assert third.pairs == frozenset()  # declared, not fabricated
+                (failure,) = third.failures
+                assert failure.error_type == "CircuitOpen"
+                assert failure.shard_id == "service"
+            finally:
+                index.close()
+
+        asyncio.run(scenario())
+
+    def test_compaction_fault_is_loud_and_base_survives(self):
+        """A fold that dies mid-compaction raises a typed error and the
+        pre-compaction answers remain exactly reachable."""
+        dataset = make_squares(60, side=0.04, seed=37)
+        # The compaction fold is the first heavy read sequence we run,
+        # so a scheduled read fault inside it dies there deterministically.
+        plan = FaultPlan(
+            schedule=(
+                ScheduledFault(op="read", kind="permanent", first=1, last=2),
+            )
+        )
+
+        async def scenario():
+            index = PersistentIndex(
+                dataset.entities,
+                storage=StorageConfig(fault_plan=plan),
+                compaction_threshold=10**9,
+            )
+            try:
+                service = JoinService(index)
+                await service.insert(square_entity(7000, 0.4, 0.4))
+                live_before = [e.eid for e in index.live_entities()]
+                epoch_before = index.epoch
+                failed_loudly = False
+                try:
+                    await service.compact()
+                except FaultError:
+                    failed_loudly = True
+                assert failed_loudly
+                assert index.compactions == 0
+                assert index.epoch == epoch_before  # no phantom epoch bump
+                assert [e.eid for e in index.live_entities()] == live_before
+                # Past the fault window the index answers from the
+                # untouched base + delta.
+                outcome = await service.window(0.0, 0.0, 1.0, 1.0)
+                while outcome.status != "ok":  # burn breaker probes
+                    await asyncio.sleep(0.06)
+                    outcome = await service.window(0.0, 0.0, 1.0, 1.0)
+                assert set(outcome.eids) == set(live_before)
+            finally:
+                index.close()
+
+        asyncio.run(scenario())
+
+
+class TestCacheInvalidationAcrossCompaction:
+    def test_compaction_epoch_orphans_cached_results(self):
+        """Compaction changes no live entity, yet it must still advance
+        the cache epoch: an entry computed against the dropped files may
+        never be served against the new file set."""
+        dataset = make_squares(70, side=0.04, seed=41)
+
+        async def scenario():
+            index = PersistentIndex(
+                dataset.entities, compaction_threshold=10**9
+            )
+            try:
+                service = JoinService(index)
+                await service.insert(square_entity(8000, 0.3, 0.3, side=0.2))
+                warm = await service.join()
+                hit = await service.join()
+                assert not warm.cached and hit.cached
+                epoch_cached = warm.epoch
+
+                assert await service.compact()
+                assert index.epoch == epoch_cached + 1
+
+                fresh = await service.join()
+                assert not fresh.cached  # old-epoch entry was orphaned
+                assert fresh.epoch == epoch_cached + 1
+                assert fresh.pairs == warm.pairs  # same live set, same answer
+                assert service.cache.get((("join",), epoch_cached)) is not None
+                # ...the stale entry may still exist in LRU order, but no
+                # lookup path can reach it: keys always carry the current
+                # epoch.
+            finally:
+                index.close()
+
+        asyncio.run(scenario())
+
+    def test_mutation_between_cache_and_read_recomputes(self):
+        dataset = make_squares(40, side=0.05, seed=43)
+
+        async def scenario():
+            index = PersistentIndex(dataset.entities)
+            try:
+                service = JoinService(index)
+                window_args = (0.2, 0.2, 0.7, 0.7)
+                first = await service.window(*window_args)
+                await service.insert(square_entity(9000, 0.4, 0.4))
+                second = await service.window(*window_args)
+                assert not second.cached
+                assert 9000 in second.eids
+                assert 9000 not in first.eids
+            finally:
+                index.close()
+
+        asyncio.run(scenario())

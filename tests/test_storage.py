@@ -535,3 +535,52 @@ class TestExtendLedgerParity:
             handle.extend((i, 0.0, 0.0, 1.0, 1.0, i) for i in range(300))
             assert handle.num_records == 300
             assert [r[0] for r in handle.scan()] == list(range(300))
+
+
+class TestManagerLifecycle:
+    """close() is idempotent and releases every buffer-pool frame —
+    the long-lived service opens one manager across many query cycles
+    and must not leak pages."""
+
+    def test_close_idempotent(self):
+        manager = StorageManager(StorageConfig(buffer_pages=8))
+        manager.create_file("f").append((1, 0.0, 0.0, 1.0, 1.0, 0))
+        manager.close()
+        assert manager.closed
+        manager.close()  # second close is a no-op, not an error
+        assert manager.closed
+
+    def test_no_leaked_frames_after_query_cycles(self):
+        with StorageManager(StorageConfig(buffer_pages=16)) as manager:
+            handle = manager.create_file("base")
+            handle.extend((i, 0.1, 0.1, 0.2, 0.2, i) for i in range(500))
+            manager.phase_boundary()
+            baseline = len(manager.pool)
+            assert baseline == 0  # phase boundary drains the pool
+            for _ in range(25):  # N query cycles over the same file
+                assert sum(1 for _ in handle.scan()) == 500
+                manager.phase_boundary()
+                assert len(manager.pool) == baseline
+            assert len(manager.pool) <= 16  # never exceeds capacity
+
+    def test_close_empties_pool(self):
+        manager = StorageManager(StorageConfig(buffer_pages=8))
+        handle = manager.create_file("f")
+        handle.extend((i, 0.0, 0.0, 1.0, 1.0, i) for i in range(100))
+        list(handle.scan())
+        assert len(manager.pool) > 0
+        manager.close()
+        assert len(manager.pool) == 0
+
+    def test_next_sequence_scoped_per_manager(self):
+        a = StorageManager(StorageConfig(buffer_pages=4))
+        b = StorageManager(StorageConfig(buffer_pages=4))
+        try:
+            assert [a.next_sequence("input") for _ in range(3)] == [0, 1, 2]
+            # A fresh manager starts at zero: warm processes name files
+            # exactly like fresh ones.
+            assert b.next_sequence("input") == 0
+            assert a.next_sequence("run") == 0  # kinds are independent
+        finally:
+            a.close()
+            b.close()
