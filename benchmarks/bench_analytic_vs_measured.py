@@ -3,8 +3,13 @@
 The paper argues S3J's costs are simple enough for a query optimizer;
 this bench validates equations 1-5 against measured page I/O for the
 canonical uniform workload, and the PBSM/SHJ partition-phase equations
-(10, 16, 17) against their implementations.
+(10, 16, 17) against their implementations.  A final test runs the
+same join on the durable (WAL + fsync) backend: the simulated ledger
+must be identical to the memory backend's, and the DiskModel's
+predicted seconds are printed against the real wall-clock.
 """
+
+import time
 
 import pytest
 
@@ -20,10 +25,11 @@ SIDE = 0.01
 COUNT = 8_500  # 100 pages
 
 
-def run(algorithm_cls, buffer_pages=64, **params):
+def run(algorithm_cls, buffer_pages=64, backend="memory", **params):
     a = uniform_squares(COUNT, SIDE, seed=1, name="A")
     b = uniform_squares(COUNT, SIDE, seed=2, name="B")
-    with StorageManager(StorageConfig(buffer_pages=buffer_pages)) as storage:
+    config = StorageConfig(buffer_pages=buffer_pages, backend=backend)
+    with StorageManager(config) as storage:
         file_a = a.write_descriptors(storage, "in-a")
         file_b = b.write_descriptors(storage, "in-b")
         storage.phase_boundary()
@@ -94,3 +100,28 @@ def test_shj_partition_equations_16_17(benchmark):
     assert measured == pytest.approx(predicted, rel=0.2)
     benchmark.extra_info["predicted"] = predicted
     benchmark.extra_info["measured"] = measured
+
+
+def test_s3j_durable_backend_model_vs_wall(benchmark):
+    """The DiskModel's simulated seconds against real seconds on the
+    durable (WAL + fsync-per-write) backend — and ledger parity: the
+    physical backend must not perturb the simulated cost model."""
+    baseline, _, _ = run(SizeSeparationSpatialJoin)
+
+    def timed():
+        start = time.perf_counter()
+        result, pages_a, pages_b = run(
+            SizeSeparationSpatialJoin, backend="durable"
+        )
+        return result, time.perf_counter() - start
+
+    result, wall = benchmark.pedantic(timed, rounds=1, iterations=1)
+    assert result.metrics.to_dict() == baseline.metrics.to_dict()
+    assert sorted(result.pairs) == sorted(baseline.pairs)
+    simulated = result.metrics.response_time
+    print(
+        f"\nS3J on durable: DiskModel predicts {simulated:.2f}s, "
+        f"real wall {wall:.2f}s ({simulated / wall:.1f}x)"
+    )
+    benchmark.extra_info["simulated_s"] = simulated
+    benchmark.extra_info["measured_wall_s"] = wall

@@ -1,0 +1,133 @@
+"""E-DUR — the durable backend's real cost and its ledger neutrality.
+
+Runs the same S3J batch join three ways — ``memory`` (counted I/O),
+``disk`` (plain files), ``durable`` (WAL + fsync per page write) — and
+measures:
+
+- **ledger parity**: the simulated metrics must be byte-identical
+  across backends (the durable machinery is invisible to the paper's
+  cost model); the benchmark *fails* if they diverge.
+- **durable overhead**: durable wall-clock over memory wall-clock on
+  the same host/process.  Both sides of the ratio share the run, so
+  the ratio is portable and trajectory-gated (collapse-only — fsync
+  cost varies wildly across filesystems).
+- **measured vs DiskModel**: the ledger's simulated seconds (Seagate
+  Hawk, 18.1 ms random access) against the durable backend's real
+  seconds, the calibration line ROADMAP promised
+  (``bench_analytic_vs_measured.py`` prints the same comparison).
+- **reopen cost**: wall-clock to recover + reattach the store a fresh
+  process would pay.
+
+Emits ``BENCH_durable.json``::
+
+    python -m benchmarks.bench_durable [--entities 2000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.datagen.uniform import uniform_squares
+from repro.experiments.runner import run_algorithm
+from repro.storage.durable import DurableBackend
+
+from benchmarks.artifacts import write_bench_artifact
+
+NUM_ENTITIES = 2_000
+SCALE = 0.05
+SIDE = 0.01
+
+
+def drive(entities: int) -> tuple[dict, list[str]]:
+    a = uniform_squares(entities, SIDE, seed=11, name="DURA")
+    b = uniform_squares(entities, SIDE, seed=12, name="DURB")
+    failures: list[str] = []
+    walls: dict[str, float] = {}
+    ledgers: dict[str, dict] = {}
+    pairs: dict[str, int] = {}
+    simulated = 0.0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-durable-") as data_dir:
+        for backend in ("memory", "disk", "durable"):
+            start = time.perf_counter()
+            run = run_algorithm(
+                a,
+                b,
+                "s3j",
+                scale=SCALE,
+                backend=backend,
+                data_dir=data_dir if backend == "durable" else None,
+            )
+            walls[backend] = time.perf_counter() - start
+            ledgers[backend] = run.result.metrics.to_dict()
+            pairs[backend] = len(run.result.pairs)
+            simulated = run.result.metrics.response_time
+        for backend in ("disk", "durable"):
+            if ledgers[backend] != ledgers["memory"]:
+                failures.append(
+                    f"simulated ledger diverged on the {backend} backend"
+                )
+            if pairs[backend] != pairs["memory"]:
+                failures.append(f"pair count diverged on the {backend} backend")
+        # What a restarted process pays: recovery replay + catalog scan.
+        start = time.perf_counter()
+        store = DurableBackend(data_dir)
+        attached = 0
+        for name in store.stored_files():
+            store.file_record_counts(name)
+            attached += 1
+        reopen_wall = time.perf_counter() - start
+        recovery = (
+            store.last_recovery.to_dict() if store.last_recovery else None
+        )
+        store.close()
+    payload = {
+        "entities_per_side": entities,
+        "pairs": pairs["memory"],
+        "memory_wall_s": walls["memory"],
+        "disk_wall_s": walls["disk"],
+        "durable_wall_s": walls["durable"],
+        "durable_overhead": walls["durable"] / walls["memory"],
+        "simulated_s": simulated,
+        "model_vs_measured": simulated / walls["durable"],
+        "reopen_wall_s": reopen_wall,
+        "reopened_files": attached,
+        "recovery": recovery,
+        "ledger_parity_ok": not failures,
+    }
+    return payload, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--entities", type=int, default=NUM_ENTITIES)
+    args = parser.parse_args(argv)
+    payload, failures = drive(args.entities)
+    print(
+        f"durable    entities={payload['entities_per_side']:<6} "
+        f"pairs={payload['pairs']:<7} "
+        f"memory={payload['memory_wall_s']:.3f}s "
+        f"disk={payload['disk_wall_s']:.3f}s "
+        f"durable={payload['durable_wall_s']:.3f}s "
+        f"(overhead {payload['durable_overhead']:.2f}x)"
+    )
+    print(
+        f"model      simulated={payload['simulated_s']:.2f}s "
+        f"measured={payload['durable_wall_s']:.3f}s "
+        f"(DiskModel/real {payload['model_vs_measured']:.1f}x)  "
+        f"reopen={payload['reopen_wall_s']*1000:.1f}ms "
+        f"({payload['reopened_files']} files)"
+    )
+    path = write_bench_artifact("durable", payload)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"durable OK: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

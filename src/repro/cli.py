@@ -126,6 +126,21 @@ def build_parser() -> argparse.ArgumentParser:
         "or the vectorized in-memory fast path (s3j only)",
     )
     join.add_argument(
+        "--backend",
+        choices=("memory", "disk", "durable"),
+        default="memory",
+        help="physical page store of ledger mode: in-process (default), "
+        "plain files, or the WAL-backed crash-consistent store; the "
+        "simulated ledger is byte-identical across all three",
+    )
+    join.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the disk/durable backend's files "
+        "(default: a temporary directory)",
+    )
+    join.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
@@ -249,6 +264,13 @@ def build_parser() -> argparse.ArgumentParser:
         "answers at every index epoch (with injected read faults)",
     )
     verify.add_argument(
+        "--crash",
+        action="store_true",
+        help="crash mode: SIGKILL a real child process at sampled WAL "
+        "offsets, reopen the durable store, and require oracle-exact "
+        "recovered answers (--cases sampled kill points)",
+    )
+    verify.add_argument(
         "--cases",
         type=_positive_int,
         default=25,
@@ -341,6 +363,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="delta records that trigger background compaction "
         "(default 256)",
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable index directory: created and bootstrapped on "
+        "first use, reopened (bootstrap dataset ignored) when it "
+        "already holds an index — the service survives restarts",
+    )
 
     table4 = commands.add_parser("table4", help="regenerate Table 4")
     table4.add_argument(
@@ -428,6 +458,25 @@ def cmd_join(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.backend != "memory" or args.data_dir is not None:
+            print(
+                "--backend/--data-dir are storage-layer knobs; "
+                "--mode memory has no storage to configure",
+                file=sys.stderr,
+            )
+            return 2
+    if args.data_dir is not None and args.backend == "memory":
+        print("--data-dir needs --backend disk or durable", file=sys.stderr)
+        return 2
+    if args.data_dir is not None and (
+        args.workers > 1 or args.shard_level is not None
+    ):
+        print(
+            "--data-dir names one store; sharded workers each need their "
+            "own (omit it to give every worker a temporary directory)",
+            file=sys.stderr,
+        )
+        return 2
     if args.partial_results:
         if args.workers == 1 and args.shard_level is None:
             print(
@@ -491,6 +540,8 @@ def cmd_join(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_level=args.shard_level,
             mode=args.mode,
+            backend=args.backend,
+            data_dir=args.data_dir,
             retry=retry,
             fault_plan=fault_plan,
             **params,
@@ -517,6 +568,8 @@ def cmd_join(args: argparse.Namespace) -> int:
         print(f"algorithm : {args.algorithm}")
         if args.mode != "ledger":
             print(f"mode      : {args.mode}")
+        if args.backend != "memory":
+            print(f"backend   : {args.backend}")
         if metrics.details.get("parallel"):
             plan = metrics.details["plan"]
             if plan.get("planner") == "two-layer":
@@ -639,6 +692,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
             print(report.summary())
         return 0 if report.ok else 1
 
+    if args.crash:
+        from repro.verify.crash import run_crash_verify
+
+        report = run_crash_verify(
+            cases=args.cases,
+            seed=args.seed,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
+
     if args.service:
         report = run_service_verify(
             seed=args.seed,
@@ -722,9 +789,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     index_params = {}
     if args.compaction_threshold is not None:
         index_params["compaction_threshold"] = args.compaction_threshold
+    entities = dataset.entities
+    if args.data_dir is not None:
+        from repro.service.index import SNAPSHOT_FILE
+
+        index_params["data_dir"] = args.data_dir
+        if os.path.exists(os.path.join(args.data_dir, SNAPSHOT_FILE)):
+            # Reopening an existing durable index: the bootstrap
+            # dataset is for first boot only.
+            entities = []
 
     async def run() -> None:
-        with PersistentIndex(dataset.entities, **index_params) as index:
+        with PersistentIndex(entities, **index_params) as index:
             server = ServiceServer(JoinService(index, config), args.host, args.port)
             host, port = await server.start()
             print(

@@ -103,6 +103,8 @@ def run_algorithm(
     shard_level: int | None = None,
     planner: str | None = None,
     mode: str = "ledger",
+    backend: str = "memory",
+    data_dir: str | None = None,
     retry: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     **params: Any,
@@ -123,6 +125,11 @@ def run_algorithm(
     ``retry`` installs a retrying storage layer and ``fault_plan``
     a fault-injecting one (DESIGN.md section 11) — both ride inside the
     storage config, so sharded runs apply them in every worker too.
+
+    ``backend`` selects the physical page store (``memory``/``disk``/
+    ``durable``) and ``data_dir`` where the file-backed ones keep their
+    files (a temporary directory otherwise).  The choice never shows in
+    the ledger: metrics are byte-identical across backends.
     """
     if mode == "memory":
         if retry is not None or fault_plan is not None:
@@ -130,9 +137,18 @@ def run_algorithm(
                 "retry/fault_plan are storage layers; mode='memory' has "
                 "no storage to wrap"
             )
+        if backend != "memory" or data_dir is not None:
+            raise ValueError(
+                "backend/data_dir are storage settings; mode='memory' has "
+                "no storage to configure"
+            )
         config = None
     else:
         config = make_storage_config(dataset_a, dataset_b, scale=scale)
+        if backend != "memory" or data_dir is not None:
+            config = dataclasses.replace(
+                config, backend=backend, directory=data_dir
+            )
         if retry is not None or fault_plan is not None:
             config = dataclasses.replace(
                 config, retry=retry, fault_plan=fault_plan

@@ -172,5 +172,8 @@ class FaultInjectingBackend(StorageBackend):
         self.inner.write_page(name, page_no, records)
         self._shadow.pop((name, page_no), None)  # a full write heals the page
 
+    def sync(self) -> None:
+        self.inner.sync()
+
     def close(self) -> None:
         self.inner.close()

@@ -150,5 +150,8 @@ class RetryingBackend(StorageBackend):
             lambda: self.inner.write_page(name, page_no, records),
         )
 
+    def sync(self) -> None:
+        self.inner.sync()
+
     def close(self) -> None:
         self.inner.close()

@@ -20,8 +20,11 @@ files.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
+import json
 from bisect import insort
+from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.curves.base import SpaceFillingCurve
@@ -40,6 +43,13 @@ from repro.storage.records import EID, HKEY, XHI, XLO, YHI, YLO
 
 DEFAULT_COMPACTION_THRESHOLD = 256
 """Delta records (inserts + tombstones) that trigger compaction."""
+
+SNAPSHOT_FILE = "index-snapshot.json"
+"""Delta/tombstone/epoch snapshot of a durable index, in its data
+directory next to the page store.  Written atomically before every
+mutation is acknowledged."""
+
+SNAPSHOT_SCHEMA = 1
 
 
 def _sort_key(record: Record) -> tuple[int, int]:
@@ -68,6 +78,7 @@ class PersistentIndex:
         compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
         chunk_records: int = DEFAULT_CHUNK_RECORDS,
         name: str = "idx",
+        data_dir: str | None = None,
     ) -> None:
         if compaction_threshold < 1:
             raise ValueError("compaction_threshold must be positive")
@@ -75,18 +86,40 @@ class PersistentIndex:
         self.assigner = LevelAssigner(
             order=self.curve.order, max_level=min(max_level, self.curve.order)
         )
-        self.storage = StorageManager(storage or StorageConfig(), obs=obs)
+        config = storage or StorageConfig()
+        if data_dir is not None:
+            # A durable index: the page store (and its WAL) plus the
+            # delta snapshot all live under this directory, and a later
+            # process can reopen the whole thing.
+            config = dataclasses.replace(
+                config, backend="durable", directory=data_dir
+            )
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.storage = StorageManager(config, obs=obs)
         self.obs = self.storage.obs
         self.name = name
         self.compaction_threshold = compaction_threshold
         self.chunk_records = chunk_records
         self.epoch = 0
         self.compactions = 0
+        self.recovered = False
         self._base: dict[int, PagedFile] = {}
         self._delta: dict[int, list[Record]] = {}
         self._tombstones: dict[int, set[int]] = {}  # level -> base eids
         self._live: dict[int, tuple[int, Entity]] = {}  # eid -> (level, entity)
-        self._bulk_load(list(entities))
+        seed = list(entities)
+        if self.data_dir is not None:
+            self._sweep_orphans()
+        if self.data_dir is not None and (self.data_dir / SNAPSHOT_FILE).exists():
+            if seed:
+                raise ValueError(
+                    f"{self.data_dir} already holds an index; reopening "
+                    "cannot also bulk-load entities"
+                )
+            self._reopen()
+        else:
+            self._bulk_load(seed)
+            self._persist()
 
     # -- construction ----------------------------------------------------
 
@@ -115,6 +148,190 @@ class PersistentIndex:
 
     def _level_name(self, level: int) -> str:
         return f"{self.name}-L{level}"
+
+    # -- durability ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        storage: StorageConfig | None = None,
+        obs: Observability | None = None,
+        **kwargs: object,
+    ) -> PersistentIndex:
+        """Open (or create) a durable index rooted at ``data_dir`` —
+        sugar for ``PersistentIndex(data_dir=...)``."""
+        return cls(storage=storage, obs=obs, data_dir=data_dir, **kwargs)  # type: ignore[arg-type]
+
+    def _sweep_orphans(self) -> None:
+        """Resolve debris a dead process left behind.
+
+        Half-written ``*.tmp`` files from interrupted atomic writes are
+        deleted.  A ``-compact`` level file is an interrupted compaction
+        rename, and which half of the rename it died in decides its
+        fate: the replace-rename deletes the old base *before* renaming
+        the temp onto its name, and the temp is fully written and
+        durable before the rename begins — so a temp whose base still
+        exists lost the race (the base is authoritative; drop the temp),
+        while a temp whose base is *gone* is the complete replacement
+        (finish the rename it was killed in the middle of).
+        """
+        assert self.data_dir is not None
+        for tmp in self.data_dir.glob("*.tmp"):
+            tmp.unlink()
+        stored = set(self.storage.stored_files())
+        for name in sorted(stored):
+            if not name.endswith("-compact"):
+                continue
+            base = name[: -len("-compact")]
+            if base in stored:
+                self._backend().delete_file(name)
+            else:
+                self._backend().rename_file(name, base)
+
+    def _backend(self):
+        """The innermost (catalog-bearing) backend of the manager."""
+        backend = self.storage.backend
+        while not hasattr(backend, "stored_files"):
+            backend = backend.inner
+        return backend
+
+    def _persist(self) -> None:
+        """Write the delta snapshot atomically (fsync + rename).
+
+        Called after every mutation *before* the caller gets its new
+        epoch back, so an acknowledged operation is on the medium: the
+        base level files are durable the moment their pages hit the
+        WAL-backed store, and everything else — delta buffers,
+        tombstones, epoch — round-trips through this snapshot.  A crash
+        mid-write leaves the previous snapshot intact (atomic replace),
+        so recovery sees either k or k+1 acknowledged operations, never
+        a torn state.  Plain file I/O, invisible to the simulated
+        ledger.
+        """
+        if self.data_dir is None:
+            return
+        payload = {
+            "schema": SNAPSHOT_SCHEMA,
+            "name": self.name,
+            "epoch": self.epoch,
+            "compactions": self.compactions,
+            "levels": sorted(self._base),
+            "delta": {
+                str(level): [list(record) for record in records]
+                for level, records in sorted(self._delta.items())
+            },
+            "tombstones": {
+                str(level): sorted(dead)
+                for level, dead in sorted(self._tombstones.items())
+            },
+        }
+        from repro.obs.fileio import atomic_write_json
+
+        atomic_write_json(self.data_dir / SNAPSHOT_FILE, payload, indent=None)
+
+    def _reopen(self) -> None:
+        """Rebuild the live index from the page store and the snapshot.
+
+        All reads go straight to the recovered backend catalog — never
+        through the buffer pool — so reopening is free in the simulated
+        ledger, like process start-up should be.
+
+        The snapshot may be one acknowledged mutation *ahead* of a
+        compaction that did or did not commit before the crash (rename
+        logged vs. not), so the delta is normalized against the
+        recovered base: a delta record already present verbatim in its
+        base level was folded by a committed compaction and is dropped,
+        as is a tombstone whose eid no longer appears in the base.
+        """
+        assert self.data_dir is not None
+        data = json.loads((self.data_dir / SNAPSHOT_FILE).read_text("utf-8"))
+        if data.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(f"unsupported snapshot schema {data.get('schema')!r}")
+        if data.get("name") != self.name:
+            raise ValueError(
+                f"store at {self.data_dir} holds index {data.get('name')!r}, "
+                f"asked to open {self.name!r}"
+            )
+        self.epoch = int(data["epoch"])
+        self.compactions = int(data["compactions"])
+        self.recovered = True
+
+        def typed(row: list) -> Record:
+            return (
+                int(row[0]),
+                float(row[1]),
+                float(row[2]),
+                float(row[3]),
+                float(row[4]),
+                int(row[5]),
+            )
+
+        # Base levels: every surviving level file in the catalog (the
+        # snapshot's level list can trail a committed compaction that
+        # emptied or created a level, so the catalog is authoritative).
+        prefix = f"{self.name}-L"
+        base_records: dict[int, list[Record]] = {}
+        for stored in self.storage.stored_files():
+            if not stored.startswith(prefix):
+                continue
+            level = int(stored[len(prefix) :])
+            handle = self.storage.attach_file(stored)
+            self._base[level] = handle
+            base_records[level] = list(self._raw_scan(handle))
+        snapshot_delta = {
+            int(key): [typed(row) for row in rows]
+            for key, rows in data["delta"].items()
+        }
+        snapshot_dead = {
+            int(key): {int(eid) for eid in eids}
+            for key, eids in data["tombstones"].items()
+        }
+        for level in sorted(set(snapshot_delta) | set(snapshot_dead)):
+            by_eid = {r[EID]: r for r in base_records.get(level, ())}
+            # A delta record found verbatim in the base was folded by a
+            # compaction that committed (rename logged) just before the
+            # crash; its tombstone twin, if any, is equally stale.  A
+            # record *not* in the base is still pending — and so is a
+            # tombstone whose eid the base still carries.
+            records = [
+                r for r in snapshot_delta.get(level, []) if by_eid.get(r[EID]) != r
+            ]
+            pending = {r[EID] for r in records}
+            dead = {
+                eid
+                for eid in snapshot_dead.get(level, set())
+                if eid in by_eid and (eid in pending or eid not in {
+                    r[EID] for r in snapshot_delta.get(level, [])
+                })
+            }
+            if records:
+                self._delta[level] = records
+            if dead:
+                self._tombstones[level] = dead
+        # The live set: base minus tombstones, plus the delta.
+        for level, records in base_records.items():
+            dead = self._tombstones.get(level, set())
+            for record in records:
+                if record[EID] not in dead:
+                    self._live[record[EID]] = (level, self._entity_of(record))
+        for level, records in self._delta.items():
+            for record in records:
+                self._live[record[EID]] = (level, self._entity_of(record))
+        self._persist()
+
+    def _raw_scan(self, handle: PagedFile) -> Iterator[Record]:
+        """Every record of a base file, read directly from the backend
+        (no buffer pool, no ledger charge)."""
+        backend = self._backend()
+        for page_no in range(handle.num_pages):
+            yield from backend.read_page(handle.name, page_no)
+
+    @staticmethod
+    def _entity_of(record: Record) -> Entity:
+        return Entity(
+            record[EID], Rect(record[XLO], record[YLO], record[XHI], record[YHI])
+        )
 
     # -- the live view ---------------------------------------------------
 
@@ -148,10 +365,12 @@ class PersistentIndex:
         base: Iterable[Record] = handle.scan() if handle is not None else ()
         delta = self._delta.get(level, ())
         dead = self._tombstones.get(level)
-        merged = heapq.merge(base, delta, key=_sort_key)
-        if not dead:
-            return iter(merged)
-        return (record for record in merged if record[EID] not in dead)
+        if dead:
+            # Tombstones name *base* records only — a delta record with
+            # the same eid (a re-insert after deleting a base entity)
+            # is live and must pass through.
+            base = (record for record in base if record[EID] not in dead)
+        return heapq.merge(base, delta, key=_sort_key)
 
     def live_entities(self) -> list[Entity]:
         """The live entity set (insertion-independent order: by eid)."""
@@ -172,6 +391,7 @@ class PersistentIndex:
         insort(self._delta.setdefault(level, []), record, key=_sort_key)
         self._live[entity.eid] = (level, entity)
         self.epoch += 1
+        self._persist()
         return self.epoch
 
     def delete(self, eid: int) -> int:
@@ -198,6 +418,7 @@ class PersistentIndex:
         else:
             self._tombstones.setdefault(level, set()).add(eid)
         self.epoch += 1
+        self._persist()
         return self.epoch
 
     # -- compaction ------------------------------------------------------
@@ -242,6 +463,7 @@ class PersistentIndex:
                 self._tombstones.pop(level, None)
         self.compactions += 1
         self.epoch += 1
+        self._persist()
         return True
 
     # -- queries ---------------------------------------------------------

@@ -22,21 +22,28 @@ subpackage is that storage manager:
 
 from repro.storage.buffer import BufferPool
 from repro.storage.costs import CostModel, CpuModel, DiskModel
+from repro.storage.durable import CrashPoint, DurableBackend, SimulatedCrash
 from repro.storage.iostats import IOStats, PhaseStats
 from repro.storage.manager import StorageConfig, StorageManager
 from repro.storage.pagedfile import PagedFile
 from repro.storage.records import EntityDescriptorCodec, RecordCodec
+from repro.storage.wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "BufferPool",
     "CostModel",
     "CpuModel",
+    "CrashPoint",
     "DiskModel",
+    "DurableBackend",
     "EntityDescriptorCodec",
     "IOStats",
     "PagedFile",
     "PhaseStats",
     "RecordCodec",
+    "SimulatedCrash",
     "StorageConfig",
     "StorageManager",
+    "WalRecord",
+    "WriteAheadLog",
 ]

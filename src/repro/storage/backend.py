@@ -63,9 +63,19 @@ class StorageBackend(ABC):
     def write_page(self, name: str, page_no: int, records: list[Record]) -> None:
         """Persist the records of one page."""
 
+    def sync(self) -> None:
+        """Flush every buffered write through to the medium.
+
+        The durability contract: after ``sync()`` returns, every page
+        acknowledged by ``write_page`` survives a process kill (to the
+        extent the medium allows).  The default is a no-op — correct
+        for :class:`MemoryBackend`, whose medium *is* process memory.
+        """
+
     @abstractmethod
     def close(self) -> None:
-        """Release any held resources (idempotent)."""
+        """Release any held resources (idempotent).  Implies ``sync()``
+        on backends with a durable medium."""
 
 
 class MemoryBackend(StorageBackend):
@@ -226,9 +236,20 @@ class FileBackend(StorageBackend):
         handle.seek(target)
         handle.write(block)
 
+    def sync(self) -> None:
+        """Flush and ``fsync`` every open file: the explicit durability
+        point of the non-WAL backend.  ``write_page`` alone only hands
+        bytes to the OS; only after ``sync()`` (or ``close()``) are they
+        on the medium."""
+        self._check_open()
+        for handle in self._handles.values():
+            handle.flush()
+            os.fsync(handle.fileno())
+
     def close(self) -> None:
         self._closed = True
         for handle in self._handles.values():
             handle.flush()
+            os.fsync(handle.fileno())
             handle.close()
         self._handles.clear()

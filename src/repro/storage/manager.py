@@ -30,6 +30,12 @@ class StorageConfig:
     page frames available to an operator.  Experiments set it to 10% of
     the combined input size (section 5) unless stated otherwise.
 
+    ``backend`` selects the physical page store: ``memory`` (counted,
+    not performed), ``disk`` (real files, flush-on-sync durability), or
+    ``durable`` (write-ahead logged, crash-consistent; DESIGN.md
+    section 16).  The simulated ledger is backend-independent: the same
+    run produces byte-identical I/O counts on all three.
+
     ``fault_plan`` / ``retry`` opt into the fault subsystem (DESIGN.md
     section 11): the physical backend is wrapped in a
     :class:`~repro.faults.inject.FaultInjectingBackend` executing the
@@ -91,9 +97,18 @@ class StorageManager:
                 self._tempdir = tempfile.TemporaryDirectory(prefix="repro-storage-")
                 directory = self._tempdir.name
             backend = FileBackend(directory)
+        elif self.config.backend == "durable":
+            from repro.storage.durable import DurableBackend
+
+            directory = self.config.directory
+            if directory is None:
+                self._tempdir = tempfile.TemporaryDirectory(prefix="repro-storage-")
+                directory = self._tempdir.name
+            backend = DurableBackend(directory, page_size=self.config.page_size)
         else:
             raise ValueError(
-                f"unknown backend {self.config.backend!r}; choose 'memory' or 'disk'"
+                f"unknown backend {self.config.backend!r}; choose 'memory', "
+                "'disk', or 'durable'"
             )
         # Fault subsystem wrappers (innermost injection, outermost
         # retry, so retries see the injected faults): both are absent
@@ -132,6 +147,49 @@ class StorageManager:
             return self._files[name]
         except KeyError:
             raise FileNotFoundError(f"no storage file named {name!r}") from None
+
+    def attach_file(self, name: str, codec: RecordCodec | None = None) -> PagedFile:
+        """Adopt a file recovered from disk by a durable backend.
+
+        The reopen counterpart of :meth:`create_file`: the file already
+        exists in the backend's recovered catalog (a previous process
+        wrote it), so no ``create_file`` call is issued — the codec is
+        re-bound and a :class:`PagedFile` handle is rebuilt from the
+        per-page record counts.  Counts are read directly from the
+        backend, never through the buffer pool, so attaching leaves the
+        simulated ledger untouched.  Only backends with a persistent
+        catalog (``durable``) support this.
+        """
+        if name in self._files:
+            raise FileExistsError(f"storage file {name!r} already open")
+        codec = codec or EntityDescriptorCodec()
+        backend = self.backend
+        while not hasattr(backend, "attach_file"):
+            inner = getattr(backend, "inner", None)
+            if inner is None:
+                raise ValueError(
+                    f"backend {self.config.backend!r} has no persistent "
+                    "catalog to attach files from"
+                )
+            backend = inner
+        backend.attach_file(name, codec, self.config.page_size)
+        counts = backend.file_record_counts(name)
+        handle = PagedFile(name, codec, self.config.page_size, self.pool)
+        handle.num_pages = len(counts)
+        handle.num_records = sum(counts)
+        handle._tail_count = counts[-1] if counts else 0
+        self._files[name] = handle
+        return handle
+
+    def stored_files(self) -> list[str]:
+        """Names in the backend's persistent catalog (durable only)."""
+        backend = self.backend
+        while not hasattr(backend, "stored_files"):
+            inner = getattr(backend, "inner", None)
+            if inner is None:
+                return []
+            backend = inner
+        return backend.stored_files()
 
     def drop_file(self, name: str) -> None:
         """Delete a file: its buffered pages are discarded, not flushed."""
@@ -213,6 +271,19 @@ class StorageManager:
     def response_time(self) -> float:
         """Simulated response time of all work recorded so far."""
         return self.cost_model.response_time(self.stats.total)
+
+    def sync(self) -> None:
+        """Flush dirty buffered pages and push them to the medium.
+
+        ``pool.flush()`` writes every dirty frame through the backend;
+        ``backend.sync()`` then makes those writes durable (fsync on the
+        file backends, WAL commit + data fsync on the durable one, a
+        no-op in memory).  The flush is priced by the ledger exactly as
+        any other flush; ``backend.sync()`` itself is free, preserving
+        cross-backend ledger parity.
+        """
+        self.pool.flush()
+        self.backend.sync()
 
     # -- lifecycle -------------------------------------------------------
 

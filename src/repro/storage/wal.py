@@ -1,0 +1,293 @@
+"""The write-ahead log of the durable page store.
+
+Classic physical-redo WAL discipline (DESIGN.md section 16): every
+mutation of the durable store — a page write, a file create/delete/
+rename — is first appended to the log and ``fsync``'d, and only then
+applied to the data file.  Recovery replays committed records onto the
+data file (idempotent physical redo), so a torn data-page write is
+*healed* from the log instead of merely detected, and a torn log tail
+(the one record a power cut interrupted) is identified by its checksum
+and truncated away.
+
+The log is **segmented**: records append to ``wal-<seq>.log`` until the
+segment exceeds ``segment_bytes``, then a fresh segment (with the next
+sequence number, never reused) is started.  A checkpoint makes every
+record redundant — the data file is fsynced and the full catalog
+persisted — after which all segments are deleted and a new one begins.
+
+Record layout (little-endian)::
+
+    magic   u32   0x57414C31 ("1LAW" on disk)
+    lsn     u64   monotonically increasing, 1-based
+    op      u8    1=page write  2=create  3=delete  4=rename
+    crc     u32   crc32 over (lsn, op, body)
+    length  u32   body length in bytes
+    body    ...   op-specific (see the pack_* helpers)
+
+A record is **committed** once an ``fsync`` covering it returned; the
+store fsyncs after every append.  The scanner accepts a record only if
+the magic matches, the LSN is the expected successor, the declared body
+is fully present, and the checksum agrees — anything else is the torn
+tail and scanning stops there.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+WAL_MAGIC = 0x57414C31
+WAL_HEADER = struct.Struct("<IQBII")  # magic, lsn, op, crc, body length
+
+OP_WRITE = 1
+OP_CREATE = 2
+OP_DELETE = 3
+OP_RENAME = 4
+
+_WRITE_BODY = struct.Struct("<QQQ")  # file id, page no, slot
+_CREATE_BODY = struct.Struct("<QII")  # file id, record size, capacity
+_DELETE_BODY = struct.Struct("<Q")  # file id
+_RENAME_BODY = struct.Struct("<Q")  # file id
+
+DEFAULT_SEGMENT_BYTES = 256 * 1024
+"""Segment rotation threshold: a segment exceeding this is closed and
+the next record starts ``wal-<seq+1>.log``."""
+
+MAX_BODY_BYTES = 64 * 1024 * 1024
+"""Sanity bound on a declared body length; a corrupt length field must
+not make the scanner allocate gigabytes before the checksum rejects it."""
+
+
+class WalError(RuntimeError):
+    """A structural WAL problem recovery cannot talk itself past."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One committed log record."""
+
+    lsn: int
+    op: int
+    body: bytes
+
+    def encode(self) -> bytes:
+        crc = record_crc(self.lsn, self.op, self.body)
+        return (
+            WAL_HEADER.pack(WAL_MAGIC, self.lsn, self.op, crc, len(self.body))
+            + self.body
+        )
+
+
+def record_crc(lsn: int, op: int, body: bytes) -> int:
+    return zlib.crc32(body, zlib.crc32(struct.pack("<QB", lsn, op)))
+
+
+# -- op bodies ---------------------------------------------------------
+
+
+def pack_write(file_id: int, page_no: int, slot: int, payload: bytes) -> bytes:
+    return _WRITE_BODY.pack(file_id, page_no, slot) + payload
+
+
+def unpack_write(body: bytes) -> tuple[int, int, int, bytes]:
+    file_id, page_no, slot = _WRITE_BODY.unpack_from(body, 0)
+    return file_id, page_no, slot, body[_WRITE_BODY.size :]
+
+
+def pack_create(file_id: int, record_size: int, capacity: int, name: str) -> bytes:
+    return _CREATE_BODY.pack(file_id, record_size, capacity) + name.encode()
+
+
+def unpack_create(body: bytes) -> tuple[int, int, int, str]:
+    file_id, record_size, capacity = _CREATE_BODY.unpack_from(body, 0)
+    return file_id, record_size, capacity, body[_CREATE_BODY.size :].decode()
+
+
+def pack_delete(file_id: int) -> bytes:
+    return _DELETE_BODY.pack(file_id)
+
+
+def unpack_delete(body: bytes) -> int:
+    return _DELETE_BODY.unpack(body)[0]
+
+
+def pack_rename(file_id: int, new_name: str) -> bytes:
+    return _RENAME_BODY.pack(file_id) + new_name.encode()
+
+
+def unpack_rename(body: bytes) -> tuple[int, str]:
+    (file_id,) = _RENAME_BODY.unpack_from(body, 0)
+    return file_id, body[_RENAME_BODY.size :].decode()
+
+
+# -- the segmented log -------------------------------------------------
+
+
+def segment_name(sequence: int) -> str:
+    return f"wal-{sequence:08d}.log"
+
+
+def segment_sequence(path: Path) -> int:
+    return int(path.name[len("wal-") : -len(".log")])
+
+
+def list_segments(directory: Path) -> list[Path]:
+    """Existing segment files in sequence order."""
+    return sorted(directory.glob("wal-*.log"), key=segment_sequence)
+
+
+class WriteAheadLog:
+    """The append side of the segmented log.
+
+    ``append`` buffers into the current segment and flushes to the OS;
+    ``sync`` fsyncs, which is the commit point.  The ``partial_writer``
+    hook exists for the crash harness only: it lets the durable store
+    persist a deliberate *prefix* of one record before dying, producing
+    an honest torn tail.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        start_sequence: int = 1,
+    ) -> None:
+        self.directory = Path(directory)
+        self.segment_bytes = segment_bytes
+        self.sequence = start_sequence
+        self._handle = open(self.directory / segment_name(self.sequence), "ab")
+        self.bytes_appended = 0  # across segments since construction/reset
+
+    @property
+    def segment_path(self) -> Path:
+        return self.directory / segment_name(self.sequence)
+
+    def append(
+        self,
+        record: WalRecord,
+        partial_writer: Callable[[object, bytes], None] | None = None,
+    ) -> None:
+        """Append one record (rotating first if the segment is full)."""
+        data = record.encode()
+        if (
+            self._handle.tell() > 0
+            and self._handle.tell() + len(data) > self.segment_bytes
+        ):
+            self._rotate()
+        if partial_writer is not None:
+            partial_writer(self._handle, data)
+        else:
+            self._handle.write(data)
+        self._handle.flush()
+        self.bytes_appended += len(data)
+
+    def sync(self) -> None:
+        """The commit point: everything appended so far is now durable."""
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _rotate(self) -> None:
+        self.sync()
+        self._handle.close()
+        self.sequence += 1
+        self._handle = open(self.directory / segment_name(self.sequence), "ab")
+
+    def reset(self, next_sequence: int) -> None:
+        """Checkpoint aftermath: delete every segment, start a fresh one
+        with a sequence number that has never been used."""
+        self._handle.close()
+        for path in list_segments(self.directory):
+            path.unlink()
+        self.sequence = next_sequence
+        self._handle = open(self.directory / segment_name(self.sequence), "ab")
+        self.bytes_appended = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+
+
+@dataclass
+class WalScan:
+    """What recovery learned from reading the log."""
+
+    records: int = 0
+    truncated_bytes: int = 0
+    truncated_segment: str | None = None
+    dropped_segments: int = 0
+
+
+def scan_segments(
+    directory: Path,
+    apply: Callable[[WalRecord], None],
+    truncate: bool = True,
+) -> WalScan:
+    """Read every committed record in LSN order and feed it to ``apply``.
+
+    The first structurally invalid record — bad magic, non-successor
+    LSN, short body, checksum mismatch — is the torn tail: scanning
+    stops, the segment is truncated at that offset (when ``truncate``),
+    and any *later* segment is deleted outright (it can only exist if
+    the tail segment tore mid-rotation; its records were never
+    acknowledged).
+    """
+    scan = WalScan()
+    expected_lsn: int | None = None
+    torn = False
+    for path in list_segments(directory):
+        if torn:
+            path.unlink()
+            scan.dropped_segments += 1
+            continue
+        data = path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            good, record = _decode_at(data, offset, expected_lsn)
+            if not good:
+                torn = True
+                scan.truncated_bytes = len(data) - offset
+                scan.truncated_segment = path.name
+                if truncate:
+                    with open(path, "r+b") as handle:
+                        handle.truncate(offset)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                break
+            assert record is not None
+            apply(record)
+            scan.records += 1
+            expected_lsn = record.lsn + 1
+            offset += WAL_HEADER.size + len(record.body)
+    return scan
+
+
+def _decode_at(
+    data: bytes, offset: int, expected_lsn: int | None
+) -> tuple[bool, WalRecord | None]:
+    if offset + WAL_HEADER.size > len(data):
+        return False, None
+    magic, lsn, op, crc, length = WAL_HEADER.unpack_from(data, offset)
+    if magic != WAL_MAGIC or length > MAX_BODY_BYTES:
+        return False, None
+    if expected_lsn is not None and lsn != expected_lsn:
+        return False, None
+    body_start = offset + WAL_HEADER.size
+    if body_start + length > len(data):
+        return False, None
+    body = data[body_start : body_start + length]
+    if record_crc(lsn, op, body) != crc:
+        return False, None
+    return True, WalRecord(lsn, op, body)
+
+
+def iter_records(directory: Path) -> Iterator[WalRecord]:
+    """Committed records in LSN order (no truncation side effects)."""
+    records: list[WalRecord] = []
+    scan_segments(directory, records.append, truncate=False)
+    return iter(records)

@@ -35,6 +35,13 @@ from repro.verify.chaos import (
     run_chaos_case,
     sample_scenario,
 )
+from repro.verify.crash import (
+    CrashCaseResult,
+    CrashVerifyReport,
+    run_crash_case,
+    run_crash_verify,
+    run_serve_roundtrip,
+)
 from repro.verify.crossmode import (
     CrossModeMismatch,
     CrossModeReport,
@@ -95,6 +102,8 @@ __all__ = [
     "ChaosReport",
     "ChaosScenario",
     "Counterexample",
+    "CrashCaseResult",
+    "CrashVerifyReport",
     "CrossModeMismatch",
     "CrossModeReport",
     "DEFAULT_INVARIANTS",
@@ -130,8 +139,11 @@ __all__ = [
     "oracle_pairs",
     "run_chaos",
     "run_chaos_case",
+    "run_crash_case",
+    "run_crash_verify",
     "run_cross_mode",
     "run_executor",
+    "run_serve_roundtrip",
     "run_service_chaos",
     "run_service_verify",
     "run_verify",

@@ -1,0 +1,557 @@
+"""The kill-and-reopen crash gate for the durable storage stack.
+
+The scenario class the chaos harness could not model in-process: a real
+child process runs a deterministic schedule of inserts, deletes, and
+compactions against a durable :class:`~repro.service.index.
+PersistentIndex`, with a sampled :class:`~repro.storage.durable.
+CrashPoint` planted in its environment — the durable backend ``SIGKILL``s
+its own process mid-WAL-append, between the WAL fsync and the data
+write, mid-data-page write, around a compaction rename, or mid-
+checkpoint.  The parent counts the operations the child *acknowledged*
+(one ``ack`` line per completed operation), reopens the store in its
+own process, and asserts exact agreement with a cold in-memory oracle:
+
+- the recovered live-entity set equals the set after ``k`` or ``k + 1``
+  acknowledged operations (the op in flight at the kill either fully
+  survived or never happened — nothing in between);
+- the recovered index's ``self_join`` answers are byte-identical to the
+  brute-force oracle over that live set, and window queries agree with
+  a direct scan;
+- reopening a second time changes nothing (recovery is idempotent).
+
+A fault-free ledger-parity check rides along: the same batch join run
+on the ``memory``, ``disk``, and ``durable`` backends must produce
+byte-identical simulated metrics, proving the durable machinery is
+invisible to the paper's cost model.
+
+Wired into ``repro verify --crash`` and the CI crash-smoke job; the
+``--serve-roundtrip`` entry point additionally kills and restarts a
+real ``repro serve`` process and requires the restarted service to
+answer from the recovered index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.datagen.uniform import uniform_squares
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.service.index import PersistentIndex
+from repro.storage.durable import CRASH_ENV, CRASH_POINTS, CrashPoint
+from repro.verify.oracle import oracle_pairs
+
+Progress = Callable[[str], None]
+
+WORKER_COMPACTION_THRESHOLD = 12
+"""Small on purpose: the schedule must cross several compactions so
+rename/checkpoint crash points have occurrences to land on."""
+
+DEFAULT_OPS = 48
+
+# How many occurrences of each point one schedule plausibly produces;
+# sampling indexes beyond the high end yields "ran to completion"
+# cases, which are kept — surviving with zero crashes is also a result.
+_INDEX_RANGES = {
+    "wal-append": 40,
+    "wal-synced": 40,
+    "data-write": 30,
+    "rename": 6,
+    "checkpoint": 3,
+}
+
+
+def op_schedule(seed: int, ops: int = DEFAULT_OPS) -> list[tuple[str, Any]]:
+    """The deterministic operation sequence a worker replays.
+
+    Shared by the child (which executes it against the durable index)
+    and the parent (which replays prefixes of it in memory as the
+    oracle).  Mix: mostly inserts, some deletes of still-live entities
+    (including re-inserts of previously deleted ids), an explicit
+    compaction every so often.
+    """
+    rng = random.Random(seed)
+    schedule: list[tuple[str, Any]] = []
+    live: dict[int, Entity] = {}
+    deleted: list[Entity] = []
+    next_eid = 1
+    for position in range(ops):
+        roll = rng.random()
+        if position and roll < 0.12:
+            schedule.append(("compact", None))
+        elif live and roll < 0.32:
+            eid = rng.choice(sorted(live))
+            deleted.append(live.pop(eid))
+            schedule.append(("delete", eid))
+        elif deleted and roll < 0.40:
+            entity = deleted.pop(rng.randrange(len(deleted)))
+            live[entity.eid] = entity
+            schedule.append(("insert", entity))
+        else:
+            cx, cy = rng.random(), rng.random()
+            side = rng.uniform(0.01, 0.15)
+            entity = Entity(
+                next_eid,
+                Rect(
+                    max(0.0, cx - side / 2),
+                    max(0.0, cy - side / 2),
+                    min(1.0, cx + side / 2),
+                    min(1.0, cy + side / 2),
+                ),
+            )
+            next_eid += 1
+            live[entity.eid] = entity
+            schedule.append(("insert", entity))
+    return schedule
+
+
+def apply_prefix(
+    schedule: list[tuple[str, Any]], count: int
+) -> dict[int, Entity]:
+    """The live entity set after the first ``count`` operations."""
+    live: dict[int, Entity] = {}
+    for op, payload in schedule[:count]:
+        if op == "insert":
+            live[payload.eid] = payload
+        elif op == "delete":
+            live.pop(payload, None)
+    return live
+
+
+def sample_crash_point(rng: random.Random) -> CrashPoint:
+    """One deterministic crash-point sample."""
+    point = rng.choice(CRASH_POINTS)
+    return CrashPoint(
+        point=point,
+        index=rng.randrange(_INDEX_RANGES[point]),
+        fraction=rng.uniform(0.05, 0.95),
+        action="kill",
+    )
+
+
+@dataclass
+class CrashCaseResult:
+    """One kill-and-reopen case."""
+
+    case: int
+    point: str
+    index: int
+    fraction: float
+    killed: bool
+    acked: int
+    recovered: int
+    ok: bool
+    detail: str = ""
+    recovery: dict[str, Any] | None = None
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        death = "killed" if self.killed else "completed"
+        return (
+            f"case {self.case}: {self.point}[{self.index}] "
+            f"f={self.fraction:.2f} {death} acked={self.acked} "
+            f"recovered={self.recovered} {status}"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "case": self.case,
+            "point": self.point,
+            "index": self.index,
+            "fraction": self.fraction,
+            "killed": self.killed,
+            "acked": self.acked,
+            "recovered": self.recovered,
+            "ok": self.ok,
+            "detail": self.detail,
+            "recovery": self.recovery,
+        }
+
+
+@dataclass
+class CrashVerifyReport:
+    """The gate's verdict over all sampled cases."""
+
+    cases: list[CrashCaseResult] = field(default_factory=list)
+    ledger_parity_ok: bool = True
+    ledger_parity_detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.ledger_parity_ok and all(case.ok for case in self.cases)
+
+    @property
+    def kills(self) -> int:
+        return sum(1 for case in self.cases if case.killed)
+
+    def summary(self) -> str:
+        lines = [
+            f"crash verify: {len(self.cases)} cases, {self.kills} real kills, "
+            f"{sum(1 for c in self.cases if not c.ok)} failures"
+        ]
+        lines.append(
+            "ledger parity (memory/disk/durable): "
+            + ("byte-identical" if self.ledger_parity_ok else "DIVERGED")
+            + (f" — {self.ledger_parity_detail}" if self.ledger_parity_detail else "")
+        )
+        for case in self.cases:
+            if not case.ok:
+                lines.append("  " + case.describe())
+        lines.append("crash verify: OK" if self.ok else "crash verify: FAILED")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "kills": self.kills,
+            "ledger_parity_ok": self.ledger_parity_ok,
+            "ledger_parity_detail": self.ledger_parity_detail,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+def _worker_env(crash: CrashPoint | None) -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    if crash is not None:
+        env[CRASH_ENV] = crash.to_env()
+    else:
+        env.pop(CRASH_ENV, None)
+    return env
+
+
+def _run_worker(
+    data_dir: str, seed: int, ops: int, crash: CrashPoint | None
+) -> tuple[int, int]:
+    """Run one schedule in a child process; (acked ops, return code)."""
+    process = subprocess.run(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.verify.crash_worker",
+            "--data-dir",
+            data_dir,
+            "--seed",
+            str(seed),
+            "--ops",
+            str(ops),
+        ],
+        env=_worker_env(crash),
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    acked = 0
+    for line in process.stdout.splitlines():
+        if line.startswith("ack "):
+            acked = int(line.split()[1]) + 1
+    return acked, process.returncode
+
+
+def run_crash_case(
+    case_no: int, seed: int, ops: int = DEFAULT_OPS
+) -> CrashCaseResult:
+    """One sampled SIGKILL point: run, kill, reopen, compare."""
+    crash = sample_crash_point(random.Random((seed << 16) ^ case_no))
+    schedule = op_schedule(seed, ops)
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as data_dir:
+        acked, returncode = _run_worker(data_dir, seed, ops, crash)
+        killed = returncode == -signal.SIGKILL
+        result = CrashCaseResult(
+            case=case_no,
+            point=crash.point,
+            index=crash.index,
+            fraction=crash.fraction,
+            killed=killed,
+            acked=acked,
+            recovered=0,
+            ok=False,
+        )
+        if not killed and returncode != 0:
+            result.detail = f"worker exited {returncode} without being killed"
+            return result
+        if not killed and acked != ops:
+            result.detail = f"worker completed but acked {acked}/{ops}"
+            return result
+        for reopen in range(2):  # the second pass proves idempotence
+            try:
+                index = PersistentIndex.open(
+                    data_dir, compaction_threshold=WORKER_COMPACTION_THRESHOLD
+                )
+            except Exception as error:  # noqa: BLE001 - verdict, not control flow
+                result.detail = f"reopen {reopen} raised {type(error).__name__}: {error}"
+                return result
+            try:
+                ok, detail, matched = _check_recovered(index, schedule, acked)
+                if reopen == 0:
+                    backend = index._backend()
+                    if backend.last_recovery is not None:
+                        result.recovery = backend.last_recovery.to_dict()
+                result.recovered = matched
+                if not ok:
+                    result.detail = f"reopen {reopen}: {detail}"
+                    return result
+            finally:
+                index.close()
+        result.ok = True
+        return result
+
+
+def _check_recovered(
+    index: PersistentIndex, schedule: list[tuple[str, Any]], acked: int
+) -> tuple[bool, str, int]:
+    """Exact-match the recovered index against the k / k+1 oracles."""
+    recovered = {entity.eid: entity for entity in index.live_entities()}
+    matched = -1
+    for count in (acked, acked + 1):
+        if count <= len(schedule) and apply_prefix(schedule, count) == recovered:
+            matched = count
+            break
+    if matched < 0:
+        expected = sorted(apply_prefix(schedule, acked))
+        return (
+            False,
+            f"live set matches neither {acked} nor {acked + 1} ops "
+            f"(got {len(recovered)} entities, expected ~{len(expected)})",
+            0,
+        )
+    live_dataset = index.snapshot_dataset()
+    oracle = oracle_pairs(live_dataset, live_dataset)
+    answered = index.self_join()
+    if answered != oracle:
+        return (
+            False,
+            f"self_join diverged: {len(answered)} pairs vs oracle "
+            f"{len(oracle)} after {matched} ops",
+            matched,
+        )
+    for window in (
+        Rect(0.0, 0.0, 0.5, 0.5),
+        Rect(0.25, 0.25, 0.75, 0.75),
+        Rect(0.9, 0.9, 1.0, 1.0),
+    ):
+        expected_hits = tuple(
+            sorted(
+                entity.eid
+                for entity in recovered.values()
+                if entity.mbr.xlo <= window.xhi
+                and window.xlo <= entity.mbr.xhi
+                and entity.mbr.ylo <= window.yhi
+                and window.ylo <= entity.mbr.yhi
+            )
+        )
+        if index.window_query(window) != expected_hits:
+            return False, f"window query diverged on {window}", matched
+    return True, "", matched
+
+
+def check_ledger_parity(seed: int = 0) -> tuple[bool, str]:
+    """Fault-free runs must price identically on every backend."""
+    from repro.experiments.runner import run_algorithm
+
+    a = uniform_squares(300, 0.01, seed=seed + 1, name="CRA")
+    b = uniform_squares(300, 0.01, seed=seed + 2, name="CRB")
+    baseline = None
+    for backend in ("memory", "disk", "durable"):
+        run = run_algorithm(a, b, "s3j", scale=0.02, backend=backend)
+        probe = (sorted(run.result.pairs), run.result.metrics.to_dict())
+        if baseline is None:
+            baseline = probe
+        elif probe != baseline:
+            return False, f"{backend} differs from memory baseline"
+    return True, ""
+
+
+def run_crash_verify(
+    cases: int = 25,
+    seed: int = 0,
+    ops: int = DEFAULT_OPS,
+    progress: Progress | None = None,
+) -> CrashVerifyReport:
+    """The full gate: ledger parity plus ``cases`` sampled kills."""
+    report = CrashVerifyReport()
+    report.ledger_parity_ok, report.ledger_parity_detail = check_ledger_parity(
+        seed
+    )
+    if progress:
+        progress(
+            "ledger parity: "
+            + ("ok" if report.ledger_parity_ok else "DIVERGED")
+        )
+    for case_no in range(cases):
+        result = run_crash_case(case_no, seed=seed + case_no, ops=ops)
+        report.cases.append(result)
+        if progress:
+            progress(result.describe())
+    return report
+
+
+# -- the serve kill-and-restart round-trip ------------------------------
+
+
+def _read_port(process: subprocess.Popen, deadline: float = 30.0) -> int:
+    """Parse the bound port from the serve banner on stderr."""
+    assert process.stderr is not None
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        line = process.stderr.readline()
+        if not line:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"serve exited {process.returncode} before binding"
+                )
+            continue
+        if "serving" in line and " on " in line:
+            address = line.split(" on ")[1].split()[0]
+            return int(address.rsplit(":", 1)[1])
+    raise RuntimeError("serve did not print its banner in time")
+
+
+def _request(port: int, payload: dict[str, Any]) -> dict[str, Any]:
+    with socket.create_connection(("127.0.0.1", port), timeout=10) as conn:
+        conn.sendall((json.dumps(payload) + "\n").encode())
+        data = b""
+        while not data.endswith(b"\n"):
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    return json.loads(data.decode())
+
+
+def run_serve_roundtrip(
+    seed: int = 0, entities: int = 80, progress: Progress | None = None
+) -> bool:
+    """Kill ``repro serve`` with SIGKILL and require the restarted
+    process to answer from the recovered on-disk index."""
+
+    def say(message: str) -> None:
+        if progress:
+            progress(message)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-crash-") as data_dir:
+        command = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.cli",
+            "serve",
+            "--data-dir",
+            data_dir,
+            "--entities",
+            str(entities),
+            "--seed",
+            str(seed),
+            "--compaction-threshold",
+            "16",
+        ]
+        env = _worker_env(None)
+        first = subprocess.Popen(
+            command, env=env, stderr=subprocess.PIPE, text=True
+        )
+        try:
+            port = _read_port(first)
+            say(f"first serve up on port {port}")
+            for eid, (x, y) in enumerate(
+                [(0.11, 0.2), (0.5, 0.52), (0.82, 0.3), (0.4, 0.77)],
+                start=10_000,
+            ):
+                response = _request(
+                    port,
+                    {
+                        "op": "insert",
+                        "eid": eid,
+                        "xlo": x,
+                        "ylo": y,
+                        "xhi": x + 0.06,
+                        "yhi": y + 0.06,
+                    },
+                )
+                if not response.get("ok"):
+                    raise RuntimeError(f"insert failed: {response}")
+            window = {"op": "window", "xlo": 0, "ylo": 0, "xhi": 1, "yhi": 1}
+            before = _request(port, window)
+            stats = _request(port, {"op": "stats"})
+            say(
+                f"before kill: {len(before.get('eids', []))} live, "
+                f"epoch {stats.get('epoch')}"
+            )
+        finally:
+            first.kill()  # SIGKILL: no goodbye, no flush
+            first.wait(timeout=30)
+        say("first serve killed (SIGKILL)")
+
+        second = subprocess.Popen(
+            command, env=env, stderr=subprocess.PIPE, text=True
+        )
+        try:
+            port = _read_port(second)
+            say(f"second serve up on port {port}")
+            after = _request(
+                port, {"op": "window", "xlo": 0, "ylo": 0, "xhi": 1, "yhi": 1}
+            )
+            stats = _request(port, {"op": "stats"})
+            if after.get("eids") != before.get("eids"):
+                say(
+                    f"MISMATCH: {len(before.get('eids', []))} live before, "
+                    f"{len(after.get('eids', []))} after restart"
+                )
+                return False
+            say(
+                f"after restart: {len(after.get('eids', []))} live, "
+                f"epoch {stats.get('epoch')} — answers identical"
+            )
+            return True
+        finally:
+            second.terminate()
+            try:
+                second.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                second.kill()
+                second.wait(timeout=30)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.verify.crash", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--cases", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ops", type=int, default=DEFAULT_OPS)
+    parser.add_argument(
+        "--serve-roundtrip",
+        action="store_true",
+        help="kill-and-restart a real `repro serve` process instead of "
+        "running the sampled crash cases",
+    )
+    args = parser.parse_args(argv)
+    if args.serve_roundtrip:
+        ok = run_serve_roundtrip(seed=args.seed, progress=print)
+        print("serve round-trip: " + ("OK" if ok else "FAILED"))
+        return 0 if ok else 1
+    report = run_crash_verify(
+        cases=args.cases, seed=args.seed, ops=args.ops, progress=print
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The child process the crash gate kills.
+
+Opens a durable :class:`~repro.service.index.PersistentIndex` at the
+given data directory and replays the deterministic schedule from
+:func:`repro.verify.crash.op_schedule`, printing ``ack <i> <epoch>``
+after each operation returns (i.e. after its state is on the medium).
+The parent plants a :class:`~repro.storage.durable.CrashPoint` in
+``REPRO_DURABLE_CRASH``, so somewhere mid-schedule the durable backend
+``SIGKILL``s this process — no cleanup, no atexit, exactly like a power
+cut.  If the sampled point is never reached, the schedule completes and
+``done`` is printed; both outcomes are valid cases for the parent.
+
+Run with ``python -u`` so acks are not lost in a stdio buffer when the
+kill lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.service.index import PersistentIndex
+from repro.verify.crash import WORKER_COMPACTION_THRESHOLD, op_schedule
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.verify.crash_worker")
+    parser.add_argument("--data-dir", required=True)
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--ops", type=int, required=True)
+    args = parser.parse_args(argv)
+
+    index = PersistentIndex.open(
+        args.data_dir, compaction_threshold=WORKER_COMPACTION_THRESHOLD
+    )
+    for position, (op, payload) in enumerate(op_schedule(args.seed, args.ops)):
+        if op == "insert":
+            epoch = index.insert(payload)
+        elif op == "delete":
+            if payload in index:
+                epoch = index.delete(payload)
+            else:
+                epoch = index.epoch
+        else:
+            index.compact()
+            epoch = index.epoch
+        print(f"ack {position} {epoch}", flush=True)
+        if index.needs_compaction:
+            index.compact()
+            print(f"ack {position} {index.epoch}", flush=True)
+    index.close()
+    print("done", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

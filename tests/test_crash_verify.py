@@ -1,0 +1,86 @@
+"""The kill-and-reopen crash gate (``repro verify --crash``).
+
+These tests keep the subprocess count small — CI's crash-smoke job
+runs the full 25-case sweep; here we check the harness machinery
+(deterministic schedules, oracle prefixes, sampled crash points) and a
+couple of real SIGKILL round-trips.
+"""
+
+import random
+
+from repro.verify.crash import (
+    DEFAULT_OPS,
+    apply_prefix,
+    op_schedule,
+    run_crash_case,
+    run_crash_verify,
+    sample_crash_point,
+)
+
+
+class TestSchedule:
+    def test_deterministic(self):
+        assert op_schedule(7) == op_schedule(7)
+        assert op_schedule(7) != op_schedule(8)
+
+    def test_mix_and_validity(self):
+        schedule = op_schedule(3, ops=200)
+        assert len(schedule) == 200
+        ops = {op for op, _ in schedule}
+        assert ops == {"insert", "delete", "compact"}
+        live = {}
+        for op, payload in schedule:
+            if op == "insert":
+                # Re-inserts reuse an eid, but never one still live.
+                assert payload.eid not in live
+                live[payload.eid] = payload
+                rect = payload.mbr
+                assert 0.0 <= rect.xlo <= rect.xhi <= 1.0
+                assert 0.0 <= rect.ylo <= rect.yhi <= 1.0
+            elif op == "delete":
+                # Deletes only name still-live entities.
+                assert payload in live
+                del live[payload]
+
+    def test_apply_prefix_matches_replay(self):
+        schedule = op_schedule(11, ops=60)
+        live = {}
+        for count, (op, payload) in enumerate(schedule, start=1):
+            if op == "insert":
+                live[payload.eid] = payload
+            elif op == "delete":
+                live.pop(payload, None)
+            assert apply_prefix(schedule, count) == live
+        assert apply_prefix(schedule, 0) == {}
+
+    def test_sampled_crash_points_cover_every_point(self):
+        points = {
+            sample_crash_point(random.Random(seed)).point for seed in range(60)
+        }
+        assert points == {
+            "wal-append",
+            "wal-synced",
+            "data-write",
+            "rename",
+            "checkpoint",
+        }
+
+
+class TestCrashCases:
+    def test_two_sampled_kill_cases_recover_exactly(self):
+        for case_no in (0, 1):
+            result = run_crash_case(case_no, seed=0)
+            assert result.ok, result.describe()
+            if result.killed:
+                assert result.acked < DEFAULT_OPS
+            else:
+                assert result.acked == DEFAULT_OPS
+
+    def test_report_aggregates_and_serializes(self):
+        report = run_crash_verify(cases=2, seed=1, ops=32)
+        assert report.ok, report.summary()
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["ledger_parity_ok"] is True
+        assert len(payload["cases"]) == 2
+        assert report.summary()

@@ -1,0 +1,498 @@
+"""The durable page store: WAL, crash recovery, ledger parity, and the
+kill-and-reopen persistent index (DESIGN.md section 16).
+
+In-process crashes use ``CrashPoint(action="raise")``, which throws
+:class:`SimulatedCrash` (a ``BaseException``) at the sampled instant;
+the test then reopens the directory with a fresh store exactly as a
+restarted process would.  The genuine-``SIGKILL`` path is exercised by
+``repro verify --crash`` (tests in ``test_crash_verify.py``).
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.entity import Entity
+from repro.geometry.rect import Rect
+from repro.service.index import PersistentIndex
+from repro.storage import wal
+from repro.storage.backend import BackendClosedError, FileBackend, MemoryBackend
+from repro.storage.durable import (
+    DATA_FILE,
+    CrashPoint,
+    DurableBackend,
+    DurableStoreError,
+    SimulatedCrash,
+)
+from repro.storage.records import EntityDescriptorCodec
+
+PAGE_SIZE = 512  # 10 descriptor records per page
+
+
+def record(i):
+    return (i, 0.0, 0.0, 1.0, 1.0, i)
+
+
+def page(start, count=3):
+    return [record(start * 100 + i) for i in range(count)]
+
+
+def make_store(directory, **kwargs):
+    kwargs.setdefault("page_size", PAGE_SIZE)
+    return DurableBackend(directory, **kwargs)
+
+
+class TestRoundTrip:
+    def test_write_read_reopen(self, tmp_path):
+        codec = EntityDescriptorCodec()
+        store = make_store(tmp_path)
+        store.create_file("f", codec, PAGE_SIZE)
+        store.write_page("f", 0, page(0))
+        store.write_page("f", 1, page(1))
+        assert store.read_page("f", 0) == page(0)
+        store.close()
+
+        reopened = make_store(tmp_path)
+        assert reopened.stored_files() == ["f"]
+        assert reopened.attach_file("f", codec, PAGE_SIZE) == 2
+        assert reopened.read_page("f", 1) == page(1)
+        assert reopened.file_record_counts("f") == [3, 3]
+        reopened.close()
+
+    def test_reopen_without_page_size_uses_header(self, tmp_path):
+        make_store(tmp_path).close()
+        store = DurableBackend(tmp_path)
+        assert store.page_size == PAGE_SIZE
+        store.close()
+
+    def test_page_size_mismatch_rejected(self, tmp_path):
+        make_store(tmp_path).close()
+        with pytest.raises(DurableStoreError, match="page size"):
+            DurableBackend(tmp_path, page_size=4096)
+
+    def test_fresh_store_needs_page_size(self, tmp_path):
+        with pytest.raises(DurableStoreError, match="page size"):
+            DurableBackend(tmp_path)
+
+    def test_missing_page_and_missing_file(self, tmp_path):
+        store = make_store(tmp_path)
+        store.create_file("f", EntityDescriptorCodec(), PAGE_SIZE)
+        with pytest.raises(ValueError, match="never written"):
+            store.read_page("f", 0)
+        with pytest.raises(FileNotFoundError):
+            store.read_page("ghost", 0)
+        store.close()
+
+    def test_closed_store_rejects_operations(self, tmp_path):
+        store = make_store(tmp_path)
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(BackendClosedError):
+            store.stored_files()
+
+    def test_epoch_bumps_on_every_reopen(self, tmp_path):
+        store = make_store(tmp_path)
+        assert store.epoch == 1
+        store.close()
+        for expected in (2, 3):
+            store = make_store(tmp_path)
+            assert store.epoch == expected
+            store.close()
+
+    def test_rename_and_delete_survive_reopen(self, tmp_path):
+        codec = EntityDescriptorCodec()
+        store = make_store(tmp_path)
+        store.create_file("a", codec, PAGE_SIZE)
+        store.create_file("b", codec, PAGE_SIZE)
+        store.write_page("a", 0, page(0))
+        store.delete_file("b")
+        store.rename_file("a", "c")
+        store.close()
+        reopened = make_store(tmp_path)
+        assert reopened.stored_files() == ["c"]
+        reopened.attach_file("c", codec, PAGE_SIZE)
+        assert reopened.read_page("c", 0) == page(0)
+        reopened.close()
+
+    def test_free_slots_reused_lowest_first(self, tmp_path):
+        codec = EntityDescriptorCodec()
+        store = make_store(tmp_path)
+        store.create_file("a", codec, PAGE_SIZE)
+        for page_no in range(8):
+            store.write_page("a", page_no, page(page_no))
+        size_before = os.path.getsize(tmp_path / DATA_FILE)
+        store.delete_file("a")
+        store.create_file("b", codec, PAGE_SIZE)
+        for page_no in range(8):
+            store.write_page("b", page_no, page(page_no + 10))
+        # Churn reuses the freed slots: the data file did not grow.
+        assert os.path.getsize(tmp_path / DATA_FILE) == size_before
+        store.close()
+
+
+class TestCrashPointSpec:
+    def test_env_round_trip(self):
+        point = CrashPoint("data-write", index=3, fraction=0.25, action="raise")
+        assert CrashPoint.from_env(point.to_env()) == point
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"point": "nonsense"},
+            {"point": "wal-append", "fraction": 1.5},
+            {"point": "wal-append", "action": "explode"},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CrashPoint(**kwargs)
+
+
+class TestRecovery:
+    """Occurrence accounting for the crash indices below: ``create_file``
+    logs a WAL record too, so after create + N page writes the next
+    logged mutation is wal-append/wal-synced occurrence ``N + 1``;
+    ``data-write`` counts only slot writes."""
+
+    def crashed_store(self, tmp_path, crash_point):
+        codec = EntityDescriptorCodec()
+        store = make_store(tmp_path, crash_point=crash_point)
+        store.create_file("f", codec, PAGE_SIZE)
+        store.write_page("f", 0, page(0))
+        store.write_page("f", 1, page(1))
+        with pytest.raises(SimulatedCrash):
+            store.write_page("f", 2, page(2))
+        return codec
+
+    def test_torn_wal_tail_truncated(self, tmp_path):
+        # Dies mid-append of page 2's log record: never committed.
+        codec = self.crashed_store(
+            tmp_path, CrashPoint("wal-append", index=3, fraction=0.5, action="raise")
+        )
+        store = make_store(tmp_path)
+        assert store.last_recovery.truncated_bytes > 0
+        store.attach_file("f", codec, PAGE_SIZE)
+        assert store.read_page("f", 0) == page(0)
+        assert store.read_page("f", 1) == page(1)
+        with pytest.raises(ValueError, match="never written"):
+            store.read_page("f", 2)
+        store.close()
+
+    def test_committed_write_replayed_from_wal(self, tmp_path):
+        # Dies after the WAL fsync, before the data write: committed.
+        codec = self.crashed_store(
+            tmp_path, CrashPoint("wal-synced", index=3, action="raise")
+        )
+        store = make_store(tmp_path)
+        assert store.last_recovery.replayed_records >= 1
+        store.attach_file("f", codec, PAGE_SIZE)
+        assert store.read_page("f", 2) == page(2)
+        store.close()
+
+    def test_torn_data_page_healed(self, tmp_path):
+        # Dies mid-slot-write: the log is complete, the page is torn.
+        codec = self.crashed_store(
+            tmp_path, CrashPoint("data-write", index=2, fraction=0.3, action="raise")
+        )
+        store = make_store(tmp_path)
+        assert store.last_recovery.healed_pages >= 1
+        store.attach_file("f", codec, PAGE_SIZE)
+        assert store.read_page("f", 2) == page(2)
+        store.close()
+
+    def test_double_reopen_is_idempotent(self, tmp_path):
+        codec = self.crashed_store(
+            tmp_path, CrashPoint("wal-synced", index=3, action="raise")
+        )
+        first = make_store(tmp_path)
+        first.close()
+        second = make_store(tmp_path)
+        # The first recovery checkpointed: nothing left to replay.
+        assert second.last_recovery.replayed_records == 0
+        assert second.last_recovery.truncated_bytes == 0
+        second.attach_file("f", codec, PAGE_SIZE)
+        assert second.read_page("f", 2) == page(2)
+        second.close()
+
+    def test_empty_wal_reopen(self, tmp_path):
+        make_store(tmp_path).close()
+        store = make_store(tmp_path)
+        assert store.last_recovery.replayed_records == 0
+        assert store.stored_files() == []
+        store.close()
+
+    def test_crash_during_checkpoint(self, tmp_path):
+        codec = EntityDescriptorCodec()
+        store = make_store(
+            tmp_path, crash_point=CrashPoint("checkpoint", action="raise")
+        )
+        store.create_file("f", codec, PAGE_SIZE)
+        store.write_page("f", 0, page(0))
+        with pytest.raises(SimulatedCrash):
+            store.checkpoint()
+        reopened = make_store(tmp_path)
+        reopened.attach_file("f", codec, PAGE_SIZE)
+        assert reopened.read_page("f", 0) == page(0)
+        reopened.close()
+
+    def test_wal_rotation_and_checkpoint_trigger(self, tmp_path):
+        codec = EntityDescriptorCodec()
+        store = make_store(
+            tmp_path, segment_bytes=2048, checkpoint_bytes=8192
+        )
+        store.create_file("f", codec, PAGE_SIZE)
+        for page_no in range(64):
+            store.write_page("f", page_no, page(page_no % 50))
+        store.close()
+        reopened = make_store(tmp_path)
+        reopened.attach_file("f", codec, PAGE_SIZE)
+        assert reopened.read_page("f", 63) == page(13)
+        reopened.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        point=st.sampled_from(["wal-append", "wal-synced", "data-write"]),
+        index=st.integers(min_value=0, max_value=8),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_recovery_lands_on_acked_prefix(self, point, index, fraction):
+        """Whatever instant the store dies at, reopening recovers every
+        acknowledged write exactly; the in-flight write is either absent
+        or complete — never torn."""
+        codec = EntityDescriptorCodec()
+        writes = [(page_no, page(page_no)) for page_no in range(6)]
+        with tempfile.TemporaryDirectory() as directory:
+            crash = CrashPoint(point, index=index, fraction=fraction, action="raise")
+            store = make_store(directory, crash_point=crash)
+            acked = []
+            crashed_write = None
+            try:
+                store.create_file("f", codec, PAGE_SIZE)
+                for page_no, records in writes:
+                    crashed_write = (page_no, records)
+                    store.write_page("f", page_no, records)
+                    acked.append((page_no, records))
+                    crashed_write = None
+                store.close()
+            except SimulatedCrash:
+                pass
+            reopened = make_store(directory)
+            if "f" in reopened.stored_files():
+                reopened.attach_file("f", codec, PAGE_SIZE)
+                stored = dict(acked)
+                for page_no, records in acked:
+                    assert reopened.read_page("f", page_no) == records
+                if crashed_write is not None:
+                    page_no, records = crashed_write
+                    if page_no not in stored:
+                        try:
+                            recovered = reopened.read_page("f", page_no)
+                        except ValueError:
+                            recovered = None
+                        assert recovered in (None, records)
+            else:
+                # Death before the create committed: nothing was acked.
+                assert acked == []
+            reopened.close()
+
+
+class TestSyncContract:
+    def test_memory_backend_sync_is_noop(self):
+        backend = MemoryBackend()
+        backend.sync()
+
+    def test_file_backend_sync_and_close_fsync(self, tmp_path):
+        codec = EntityDescriptorCodec()
+        backend = FileBackend(str(tmp_path))
+        backend.create_file("f", codec, PAGE_SIZE)
+        backend.write_page("f", 0, page(0))
+        backend.sync()
+        assert backend.read_page("f", 0) == page(0)
+        backend.close()
+        with pytest.raises(BackendClosedError):
+            backend.sync()
+
+    def test_durable_backend_sync(self, tmp_path):
+        store = make_store(tmp_path)
+        store.create_file("f", EntityDescriptorCodec(), PAGE_SIZE)
+        store.write_page("f", 0, page(0))
+        store.sync()
+        store.close()
+
+
+class TestLedgerParity:
+    def test_three_backends_byte_identical(self, tmp_path):
+        """The simulated ledger is a pure function of the logical I/O:
+        memory, disk, and durable runs of the same join produce
+        byte-identical metrics and identical pairs."""
+        from repro.datagen.uniform import uniform_squares
+        from repro.experiments.runner import run_algorithm
+
+        a = uniform_squares(250, 0.03, seed=5, name="A")
+        b = uniform_squares(250, 0.03, seed=6, name="B")
+        outcomes = {}
+        for backend in ("memory", "disk", "durable"):
+            run = run_algorithm(
+                a,
+                b,
+                "s3j",
+                scale=0.05,
+                backend=backend,
+                data_dir=str(tmp_path / backend) if backend == "durable" else None,
+            )
+            outcomes[backend] = (
+                sorted(run.result.pairs),
+                run.result.metrics.to_dict(),
+            )
+        assert outcomes["disk"] == outcomes["memory"]
+        assert outcomes["durable"] == outcomes["memory"]
+
+
+def entity(eid, x, y, side=0.02):
+    return Entity(eid, Rect(x, y, x + side, y + side))
+
+
+class TestPersistentIndexReopen:
+    def seeded(self, data_dir, threshold=8):
+        return PersistentIndex.open(
+            str(data_dir), compaction_threshold=threshold
+        )
+
+    def test_insert_close_reopen(self, tmp_path):
+        index = self.seeded(tmp_path)
+        for i in range(12):
+            index.insert(entity(i, 0.05 * i, 0.05 * i))
+        eids_before = sorted(e.eid for e in index.live_entities())
+        join_before = index.self_join()
+        index.close()
+
+        reopened = self.seeded(tmp_path)
+        assert reopened.recovered
+        assert sorted(e.eid for e in reopened.live_entities()) == eids_before
+        assert reopened.self_join() == join_before
+        reopened.close()
+
+    def test_reopen_rejects_fresh_seed(self, tmp_path):
+        index = self.seeded(tmp_path)
+        index.insert(entity(1, 0.1, 0.1))
+        index.close()
+        with pytest.raises(ValueError, match="already holds"):
+            PersistentIndex([entity(2, 0.2, 0.2)], data_dir=str(tmp_path))
+
+    def test_delete_and_reinsert_survive_reopen(self, tmp_path):
+        index = self.seeded(tmp_path, threshold=4)
+        for i in range(8):
+            index.insert(entity(i, 0.1 * i, 0.1 * i))
+        index.compact()  # fold everything into base levels
+        index.delete(3)
+        index.insert(entity(3, 0.9, 0.05))  # reinsert a tombstoned eid
+        assert 3 in index
+        window = index.window_query(Rect(0.85, 0.0, 1.0, 0.1))
+        assert 3 in window
+        index.close()
+
+        reopened = self.seeded(tmp_path, threshold=4)
+        assert 3 in reopened
+        assert 3 in reopened.window_query(Rect(0.85, 0.0, 1.0, 0.1))
+        assert 3 not in reopened.window_query(Rect(0.25, 0.25, 0.4, 0.4))
+        reopened.close()
+
+    def test_reinserted_tombstone_visible_in_queries(self):
+        """Regression: tombstones must filter the base stream only — a
+        re-inserted eid lives in the delta and must stay visible."""
+        index = PersistentIndex(compaction_threshold=4)
+        for i in range(4):
+            index.insert(entity(i, 0.2 * i, 0.2 * i))
+        index.compact()
+        index.delete(2)
+        index.insert(entity(2, 0.21, 0.21))  # now overlaps entity 1
+        assert 2 in index.window_query(Rect(0.2, 0.2, 0.25, 0.25))
+        pairs = index.self_join()
+        assert any(2 in pair for pair in pairs)
+        index.close()
+
+    def test_orphan_temp_dropped_when_base_exists(self, tmp_path):
+        codec = EntityDescriptorCodec()
+        index = self.seeded(tmp_path, threshold=4)
+        for i in range(6):
+            index.insert(entity(i, 0.1 * i, 0.1 * i))
+        index.compact()
+        level_files = [
+            name
+            for name in index.storage.stored_files()
+            if name.startswith("idx-L") and not name.endswith("-compact")
+        ]
+        assert level_files
+        live_before = sorted(e.eid for e in index.live_entities())
+        backend = index._backend()
+        page_size = index.storage.config.page_size
+        # Plant the debris of a compaction that died before its rename
+        # committed: the base is authoritative, the temp must go.
+        orphan = f"{level_files[0]}-compact"
+        backend.create_file(orphan, codec, page_size)
+        backend.write_page(orphan, 0, [(999, 0.0, 0.0, 1.0, 1.0, 0)])
+        index.close()
+
+        reopened = self.seeded(tmp_path, threshold=4)
+        assert orphan not in reopened.storage.stored_files()
+        assert sorted(e.eid for e in reopened.live_entities()) == live_before
+        assert 999 not in reopened
+        reopened.close()
+
+    def test_orphan_temp_adopted_when_base_missing(self, tmp_path):
+        index = self.seeded(tmp_path, threshold=4)
+        for i in range(6):
+            index.insert(entity(i, 0.1 * i, 0.1 * i))
+        index.compact()
+        level_files = [
+            name
+            for name in index.storage.stored_files()
+            if name.startswith("idx-L") and not name.endswith("-compact")
+        ]
+        live_before = sorted(e.eid for e in index.live_entities())
+        backend = index._backend()
+        # Simulate a replace-rename killed between deleting the old
+        # base and renaming the temp: only the temp remains.
+        backend.rename_file(level_files[0], f"{level_files[0]}-compact")
+        index.close()
+
+        reopened = self.seeded(tmp_path, threshold=4)
+        stored = reopened.storage.stored_files()
+        assert level_files[0] in stored
+        assert f"{level_files[0]}-compact" not in stored
+        assert sorted(e.eid for e in reopened.live_entities()) == live_before
+        reopened.close()
+
+
+class TestWalUnit:
+    def test_record_round_trip(self, tmp_path):
+        log = wal.WriteAheadLog(tmp_path, segment_bytes=1024, start_sequence=1)
+        bodies = [os.urandom(40) for _ in range(20)]
+        for lsn, body in enumerate(bodies, start=1):
+            log.append(wal.WalRecord(lsn, wal.OP_WRITE, body))
+        log.sync()
+        log.close()
+        seen = []
+        scan = wal.scan_segments(tmp_path, lambda r: seen.append(r))
+        assert scan.truncated_bytes == 0
+        assert [r.body for r in seen] == bodies
+        assert [r.lsn for r in seen] == list(range(1, 21))
+
+    def test_torn_tail_detected_and_truncated(self, tmp_path):
+        log = wal.WriteAheadLog(tmp_path, segment_bytes=1 << 20, start_sequence=1)
+        log.append(wal.WalRecord(1, wal.OP_WRITE, b"x" * 32))
+        log.append(wal.WalRecord(2, wal.OP_WRITE, b"y" * 32))
+        log.sync()
+        path = log.segment_path
+        log.close()
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])  # tear the last record
+        seen = []
+        scan = wal.scan_segments(tmp_path, lambda r: seen.append(r))
+        assert [r.lsn for r in seen] == [1]
+        assert scan.truncated_bytes > 0
+        # The torn bytes are gone from the medium too.
+        assert len(path.read_bytes()) < len(blob) - 10
